@@ -1,0 +1,41 @@
+"""Benchmark harness fixtures.
+
+Each ``benchmarks/test_*.py`` regenerates one figure/table of the paper:
+it times the experiment driver (one round — the drivers are deterministic
+simulations, not microbenchmarks), asserts the paper's qualitative
+shapes, prints the regenerated rows/series, and archives them under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.characterization import Characterizer
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def characterizer() -> Characterizer:
+    """Shared measurement cache across all benchmark files."""
+    return Characterizer()
+
+
+@pytest.fixture()
+def run_experiment(benchmark, characterizer):
+    """Run a driver once under the benchmark timer; archive its output."""
+
+    def _run(driver, *args, **kwargs):
+        exp = benchmark.pedantic(driver, args=(characterizer, *args),
+                                 kwargs=kwargs, rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = exp.render()
+        (RESULTS_DIR / f"{exp.exp_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return exp
+
+    return _run

@@ -1,0 +1,25 @@
+"""F1 — Fig. 1: IPC of SPEC, PARSEC and Hadoop on little and big cores.
+
+Paper shapes asserted: Hadoop IPC well below the traditional suites on
+both cores; the drop is larger on the big core (2.16x vs 1.55x in the
+paper); the big core's IPC lead shrinks on Hadoop code (~1.43x).
+"""
+
+from repro.analysis.experiments import fig1_ipc
+
+
+def test_fig01_ipc(run_experiment):
+    exp = run_experiment(fig1_ipc)
+    ipc = exp.data["ipc"]
+
+    for machine in ("atom", "xeon"):
+        assert ipc[("Avg_Hadoop", machine)] < ipc[("Avg_Spec", machine)]
+        assert ipc[("Avg_Hadoop", machine)] < ipc[("Avg_Parsec", machine)]
+
+    drop_big = ipc[("Avg_Spec", "xeon")] / ipc[("Avg_Hadoop", "xeon")]
+    drop_little = ipc[("Avg_Spec", "atom")] / ipc[("Avg_Hadoop", "atom")]
+    assert drop_big > drop_little          # paper: 2.16x vs 1.55x
+    assert 1.6 <= drop_big <= 2.7
+
+    hadoop_gap = ipc[("Avg_Hadoop", "xeon")] / ipc[("Avg_Hadoop", "atom")]
+    assert 1.2 <= hadoop_gap <= 2.0        # paper: 1.43x

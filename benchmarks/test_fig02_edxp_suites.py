@@ -1,0 +1,28 @@
+"""F2 — Fig. 2: EDP/ED2P/ED3P of Atom vs Xeon per benchmark suite.
+
+Paper shapes: Atom wins plain EDP; as the delay exponent grows (tighter
+real-time constraints) the big core overtakes; the traditional suites
+span a wider EDxP range than Hadoop (whose gap 'reduces significantly').
+"""
+
+from repro.analysis.experiments import fig2_edxp_suites
+
+
+def test_fig02_edxp_suites(run_experiment):
+    exp = run_experiment(fig2_edxp_suites)
+    ratios = exp.data["ratios"]
+
+    # EDP favours the little core for SPEC and Hadoop.
+    assert ratios[("Avg_Spec", 1)] < 1.1
+    assert ratios[("Avg_Hadoop", 1)] < 1.0
+
+    # Ratios grow with the delay exponent; ED3P favours the big core for
+    # traditional code.
+    for suite in ("Avg_Spec", "Avg_Parsec", "Avg_Hadoop"):
+        assert ratios[(suite, 1)] < ratios[(suite, 2)] < ratios[(suite, 3)]
+    assert ratios[("Avg_Spec", 3)] > 1.5
+
+    # The Hadoop spread is the narrowest (the paper's 'gap reduces').
+    spread = lambda s: ratios[(s, 3)] / ratios[(s, 1)]
+    assert spread("Avg_Hadoop") < spread("Avg_Spec")
+    assert spread("Avg_Hadoop") < spread("Avg_Parsec")

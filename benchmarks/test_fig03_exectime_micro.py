@@ -1,0 +1,45 @@
+"""F3 — Fig. 3: micro-benchmark execution time vs HDFS block x frequency.
+
+Paper shapes: Xeon faster everywhere; Sort's gap is the outlier;
+compute-bound apps peak at 256 MB and degrade at 512 MB; frequency
+helps the little core more.
+"""
+
+from repro.analysis.experiments import fig3_exectime_micro
+
+
+def _t(grid, machine, wl, freq, block):
+    return grid[(machine, wl, freq, block)].execution_time_s
+
+
+def test_fig03_exectime_micro(run_experiment):
+    exp = run_experiment(fig3_exectime_micro)
+    grid = exp.data["grid"]
+
+    # Xeon is faster in every cell.
+    for (machine, wl, freq, block), result in grid.items():
+        if machine == "xeon":
+            atom = grid[("atom", wl, freq, block)]
+            assert result.execution_time_s < atom.execution_time_s
+
+    # Sort's gap dwarfs the others (paper's 15.4x outlier; we get > 4x).
+    sort_gap = _t(grid, "atom", "sort", 1.8, 64.0) / _t(
+        grid, "xeon", "sort", 1.8, 64.0)
+    wc_gap = _t(grid, "atom", "wordcount", 1.8, 64.0) / _t(
+        grid, "xeon", "wordcount", 1.8, 64.0)
+    assert sort_gap > 2 * wc_gap > 2.0
+
+    # WordCount: 256 MB sweet spot, 512 MB degradation (§3.1.1).
+    for machine in ("atom", "xeon"):
+        assert (_t(grid, machine, "wordcount", 1.8, 256.0)
+                < _t(grid, machine, "wordcount", 1.8, 32.0))
+        assert (_t(grid, machine, "wordcount", 1.8, 512.0)
+                > _t(grid, machine, "wordcount", 1.8, 256.0))
+
+    # Frequency helps both; the little core at least as much on I/O apps.
+    for wl in ("sort", "terasort"):
+        atom_gain = _t(grid, "atom", wl, 1.2, 64.0) / _t(
+            grid, "atom", wl, 1.8, 64.0)
+        xeon_gain = _t(grid, "xeon", wl, 1.2, 64.0) / _t(
+            grid, "xeon", wl, 1.8, 64.0)
+        assert atom_gain > xeon_gain

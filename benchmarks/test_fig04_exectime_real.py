@@ -1,0 +1,26 @@
+"""F4 — Fig. 4: NB/FP execution time vs HDFS block size and frequency.
+
+Paper shapes: 64 MB (the default) is not optimal; block sizes up to
+256 MB reduce execution time; beyond 256 MB the effect is negligible
+for these compute-bound applications.
+"""
+
+from repro.analysis.experiments import fig4_exectime_real
+
+
+def test_fig04_exectime_real(run_experiment):
+    exp = run_experiment(fig4_exectime_real)
+    grid = exp.data["grid"]
+
+    for machine in ("atom", "xeon"):
+        for wl in ("naive_bayes", "fp_growth"):
+            t64 = grid[(machine, wl, 1.8, 64.0)].execution_time_s
+            t256 = grid[(machine, wl, 1.8, 256.0)].execution_time_s
+            t512 = grid[(machine, wl, 1.8, 512.0)].execution_time_s
+            assert t256 < t64                      # default is suboptimal
+            assert abs(t512 - t256) / t256 < 0.15  # negligible beyond 256
+
+    # Frequency still helps the long-running apps on both machines.
+    for machine in ("atom", "xeon"):
+        assert (grid[(machine, "naive_bayes", 1.2, 256.0)].execution_time_s
+                > grid[(machine, "naive_bayes", 1.8, 256.0)].execution_time_s)

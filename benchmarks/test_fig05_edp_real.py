@@ -1,0 +1,21 @@
+"""F5 — Fig. 5: EDP of the entire NB/FP applications vs frequency.
+
+Paper shapes: EDP falls as frequency rises; the little core's EDP is
+below the big core's at matched frequency.
+"""
+
+from repro.analysis.experiments import fig5_edp_real
+
+
+def test_fig05_edp_real(run_experiment):
+    exp = run_experiment(fig5_edp_real)
+    series = exp.data["series"]
+
+    for wl in ("naive_bayes", "fp_growth"):
+        for machine in ("atom", "xeon"):
+            values = series[(wl, machine, "entire")]
+            assert values[0] >= values[-1]  # 1.2 GHz EDP >= 1.8 GHz EDP
+        atom = series[(wl, "atom", "entire")]
+        xeon = series[(wl, "xeon", "entire")]
+        for a, x in zip(atom, xeon):
+            assert a < x  # little core wins at every frequency

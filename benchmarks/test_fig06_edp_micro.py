@@ -1,0 +1,24 @@
+"""F6 — Fig. 6: EDP of the entire micro-benchmarks vs frequency.
+
+Paper shapes: EDP falls with frequency for all; Atom wins EDP for
+WordCount/Grep/TeraSort while Sort is the exception favouring Xeon.
+"""
+
+from repro.analysis.experiments import fig6_edp_micro
+
+
+def test_fig06_edp_micro(run_experiment):
+    exp = run_experiment(fig6_edp_micro)
+    series = exp.data["series"]
+
+    for wl in ("wordcount", "sort", "grep", "terasort"):
+        for machine in ("atom", "xeon"):
+            values = series[(wl, machine, "entire")]
+            assert values[0] >= values[-1] * 0.98
+
+    for wl in ("wordcount", "grep", "terasort"):
+        assert series[(wl, "atom", "entire")][-1] < series[
+            (wl, "xeon", "entire")][-1], wl
+    # The Sort exception: the big core wins decisively.
+    assert (series[("sort", "atom", "entire")][-1]
+            > 2 * series[("sort", "xeon", "entire")][-1])

@@ -1,0 +1,46 @@
+"""F7 — Fig. 7: map/reduce-phase EDP of the micro-benchmarks.
+
+Paper shapes: map phase EDP falls with frequency and prefers Atom
+(except map-only Sort); Sort has no reduce phase; the reduce phase does
+not benefit from frequency the way the map phase does.
+"""
+
+from repro.analysis.experiments import fig7_phase_edp_micro
+
+
+def test_fig07_phase_edp_micro(run_experiment):
+    exp = run_experiment(fig7_phase_edp_micro)
+    series = exp.data["series"]
+
+    # Sort has no reduce series on either machine (paper's note).
+    assert ("sort", "atom", "reduce") not in series
+    assert ("sort", "xeon", "reduce") not in series
+
+    # Map-phase EDP falls with frequency.
+    for wl in ("wordcount", "grep", "terasort"):
+        for machine in ("atom", "xeon"):
+            values = series[(wl, machine, "map")]
+            assert values[0] >= values[-1] * 0.98, (wl, machine)
+
+    # Map phase prefers the little core for the compute/hybrid apps.
+    for wl in ("wordcount", "grep", "terasort"):
+        assert (series[(wl, "atom", "map")][-1]
+                < series[(wl, "xeon", "map")][-1]), wl
+
+    # Grep and TeraSort reduce phases prefer the big core (§3.2.2).
+    for wl in ("grep", "terasort"):
+        assert (series[(wl, "atom", "reduce")][-1]
+                > series[(wl, "xeon", "reduce")][-1]), wl
+
+    # The reduce phase gains less from frequency than the map phase on
+    # at least one machine for some workload (the paper's contrast).
+    contrast = False
+    for wl in ("grep", "terasort"):
+        for machine in ("atom", "xeon"):
+            map_gain = (series[(wl, machine, "map")][0]
+                        / series[(wl, machine, "map")][-1])
+            red_gain = (series[(wl, machine, "reduce")][0]
+                        / series[(wl, machine, "reduce")][-1])
+            if red_gain < map_gain:
+                contrast = True
+    assert contrast

@@ -1,0 +1,28 @@
+"""F8 — Fig. 8: map/reduce-phase EDP of NB and FP vs frequency.
+
+Paper shapes: the map phase prefers the little core; NB's reduce phase
+prefers the big core; NB's reduce-phase EDP is nearly flat across the
+frequency sweep (the paper's 'opposite trend').
+"""
+
+from repro.analysis.experiments import fig8_phase_edp_real
+
+
+def test_fig08_phase_edp_real(run_experiment):
+    exp = run_experiment(fig8_phase_edp_real)
+    series = exp.data["series"]
+
+    for wl in ("naive_bayes", "fp_growth"):
+        assert (series[(wl, "atom", "map")][-1]
+                < series[(wl, "xeon", "map")][-1]), wl
+
+    # NB's reduce prefers Xeon at matched frequency (§3.2.2).
+    assert (series[("naive_bayes", "atom", "reduce")][-1]
+            > series[("naive_bayes", "xeon", "reduce")][-1])
+
+    # NB reduce on Xeon: nearly flat across frequency — frequency does
+    # not buy the memory-bound reduce much (the 'opposite trend').
+    nb_red = series[("naive_bayes", "xeon", "reduce")]
+    assert nb_red[0] / nb_red[-1] < 1.15
+    nb_map = series[("naive_bayes", "xeon", "map")]
+    assert nb_map[0] / nb_map[-1] > nb_red[0] / nb_red[-1]

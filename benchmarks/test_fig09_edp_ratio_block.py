@@ -1,0 +1,25 @@
+"""F9 — Fig. 9: EDP gap (Xeon/Atom) vs HDFS block size at 1.8 GHz.
+
+Paper shapes: increasing the block size grows the EDP gap in the little
+core's favour (WordCount approaches 2x); the gap stays above unity for
+everything except Sort.
+"""
+
+from repro.analysis.experiments import fig9_edp_ratio_block
+
+
+def test_fig09_edp_ratio_block(run_experiment):
+    exp = run_experiment(fig9_edp_ratio_block)
+    series = exp.data["series"]
+
+    blocks, wc = series["wordcount"]
+    assert wc[-1] > wc[0]          # gap grows with block size
+    assert wc[-1] > 1.5            # paper: 'more than 2X' at 512 MB
+
+    for wl in ("wordcount", "grep", "terasort", "naive_bayes",
+               "fp_growth"):
+        _blocks, values = series[wl]
+        assert all(v > 1.0 for v in values), wl  # Atom wins EDP
+
+    _blocks, sort_values = series["sort"]
+    assert all(v < 1.0 for v in sort_values)     # the Sort exception

@@ -1,0 +1,24 @@
+"""F11 — Fig. 11: NB/FP execution time and phase breakdown vs data size.
+
+Paper shapes: long-running compute apps scale with input; the map phase
+is the hotspot (well over half the time); 'others' shrink as data grows.
+"""
+
+from repro.analysis.experiments import fig11_breakdown_real
+
+
+def test_fig11_breakdown_real(run_experiment):
+    exp = run_experiment(fig11_breakdown_real)
+    grid = exp.data["grid"]
+
+    for wl in ("naive_bayes", "fp_growth"):
+        for machine in ("atom", "xeon"):
+            t1 = grid[(machine, wl, 1.0)].execution_time_s
+            t20 = grid[(machine, wl, 20.0)].execution_time_s
+            assert t20 > 8 * t1, (wl, machine)
+
+            big = grid[(machine, wl, 20.0)]
+            assert big.phase_fraction("map") > 0.5, (wl, machine)
+            small = grid[(machine, wl, 1.0)]
+            assert (big.phase_fraction("other")
+                    < small.phase_fraction("other")), (wl, machine)

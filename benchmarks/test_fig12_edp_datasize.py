@@ -1,0 +1,29 @@
+"""F12 — Fig. 12: EDP of the entire application vs input data size.
+
+Paper shapes: EDP rises steeply with data on both machines; the big core
+gains relative ground as data grows for the compute/hybrid apps.
+"""
+
+from repro.analysis.experiments import fig12_edp_datasize
+from repro.core.metrics import edp
+
+
+def _edp(r):
+    return edp(r.dynamic_energy_j, r.execution_time_s)
+
+
+def test_fig12_edp_datasize(run_experiment):
+    exp = run_experiment(fig12_edp_datasize)
+    grid = exp.data["grid"]
+
+    for (machine, wl, _gb) in list(grid):
+        e1 = _edp(grid[(machine, wl, 1.0)])
+        e10 = _edp(grid[(machine, wl, 10.0)])
+        e20 = _edp(grid[(machine, wl, 20.0)])
+        assert e1 < e10 < e20, (machine, wl)
+
+    # Big core progressively more competitive (except Sort).
+    for wl in ("wordcount", "grep", "fp_growth"):
+        r1 = _edp(grid[("atom", wl, 1.0)]) / _edp(grid[("xeon", wl, 1.0)])
+        r20 = _edp(grid[("atom", wl, 20.0)]) / _edp(grid[("xeon", wl, 20.0)])
+        assert r20 > r1, wl

@@ -1,0 +1,33 @@
+"""F13 — Fig. 13: map/reduce-phase EDP of Atom vs Xeon per data size.
+
+Paper shapes: the map phase keeps favouring the little core as data
+grows for the compute apps; the reduce phase favours the big core for
+NB across data sizes.
+"""
+
+import math
+
+from repro.analysis.experiments import fig13_phase_edp_datasize
+from repro.core.metrics import edxp
+
+
+def test_fig13_phase_edp_datasize(run_experiment):
+    exp = run_experiment(fig13_phase_edp_datasize)
+    grid = exp.data["grid"]
+
+    def phase_ratio(wl, gb, phase):
+        atom, xeon = grid[("atom", wl, gb)], grid[("xeon", wl, gb)]
+        return (edxp(atom.phase_energy(phase), atom.phase_time(phase), 1)
+                / edxp(xeon.phase_energy(phase), xeon.phase_time(phase), 1))
+
+    for gb in (1.0, 10.0, 20.0):
+        for wl in ("wordcount", "naive_bayes", "fp_growth"):
+            assert phase_ratio(wl, gb, "map") < 1.0, (wl, gb)
+    # NB's reduce favours the big core at the paper's 10/20 GB scale
+    # (at 1 GB the aggregation tables still fit the little core's L2).
+    for gb in (10.0, 20.0):
+        assert phase_ratio("naive_bayes", gb, "reduce") > 1.0, gb
+
+    # Sort (map-only) keeps favouring the big core at every size.
+    for gb in (1.0, 10.0, 20.0):
+        assert phase_ratio("sort", gb, "map") > 2.0

@@ -1,0 +1,28 @@
+"""F14 — Fig. 14: Atom-vs-Xeon speedup after/before map acceleration.
+
+Paper shapes: the speedup ratio (Eq. 1) sits at or below 1 and falls as
+the mapper acceleration grows for the map-dominated apps; TeraSort and
+Grep are barely affected (small map contribution); the curves flatten
+at high acceleration (Amdahl on the CPU residue).
+"""
+
+from repro.analysis.experiments import fig14_accel_sweep
+
+
+def test_fig14_accel_sweep(run_experiment):
+    exp = run_experiment(fig14_accel_sweep)
+    series = exp.data["series"]
+
+    for wl in ("wordcount", "sort"):
+        values = [v for _r, v in series[wl]]
+        assert values == sorted(values, reverse=True), wl
+        assert values[-1] < 0.99, wl
+
+    # TeraSort and Grep: negligible change (the paper's observation).
+    for wl in ("terasort", "grep"):
+        values = [v for _r, v in series[wl]]
+        assert all(0.9 <= v <= 1.05 for v in values), wl
+
+    # Saturation: the last doubling of the rate barely moves the ratio.
+    for wl, points in series.items():
+        assert abs(points[-1][1] - points[-2][1]) < 0.01, wl

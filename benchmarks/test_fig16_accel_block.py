@@ -1,0 +1,19 @@
+"""F16 — Fig. 16: post-acceleration speedup ratio across block sizes.
+
+Paper shapes: Sort (map-only, fully offloaded) keeps a clear ratio < 1
+at every block size; FP is the documented exception whose ratio may
+exceed 1 (§3.4.1); everything stays in a narrow band around unity.
+"""
+
+from repro.analysis.experiments import fig16_accel_block
+
+
+def test_fig16_accel_block(run_experiment):
+    exp = run_experiment(fig16_accel_block, accel_rate=50.0)
+    series = exp.data["series"]
+
+    _blocks, sort_values = series["sort"]
+    assert all(v < 1.0 for v in sort_values)
+
+    for wl, (_blocks, values) in series.items():
+        assert all(0.7 <= v <= 1.2 for v in values), (wl, values)

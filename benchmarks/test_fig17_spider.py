@@ -1,0 +1,29 @@
+"""F17 — Fig. 17: cost metrics normalized to the 8-Xeon configuration.
+
+Paper shapes: for the compute apps the large-Atom configurations sit
+inside the 8X=1 contour on EDP/EDAP (little core wins both energy and
+capital cost); for TeraSort a couple of big cores win the real-time
+cost metric ED2AP; Sort's Atom configurations sit far outside.
+"""
+
+from repro.analysis.experiments import fig17_spider
+
+
+def test_fig17_spider(run_experiment):
+    exp = run_experiment(fig17_spider)
+    spiders = exp.data["spiders"]
+
+    for wl in ("wordcount", "naive_bayes", "fp_growth"):
+        spider = spiders[wl]
+        assert spider["8A"]["EDP"] < 1.0, wl
+        assert spider["8A"]["EDAP"] < 1.0, wl
+        assert spider["8X"]["EDP"] == 1.0
+
+    # TeraSort: 2 Xeon cores beat 8 Atom cores on ED2AP (§3.5).
+    ts = spiders["terasort"]
+    assert ts["2X"]["ED2AP"] < ts["8A"]["ED2AP"]
+
+    # Sort: every Atom configuration is far outside the 8X contour.
+    st = spiders["sort"]
+    for cores in (2, 4, 6, 8):
+        assert st[f"{cores}A"]["EDP"] > 5.0

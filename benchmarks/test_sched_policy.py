@@ -1,0 +1,26 @@
+"""S1 — §3.5 scheduling case study: the paper's heuristic vs baselines.
+
+Paper shapes: the exhaustive oracle defines optimum (regret 1); the
+paper's classify-then-place heuristic lands near it and beats both the
+performance-max (all big cores) and naive low-power (2 little cores)
+baselines on energy efficiency over the full job mix.
+"""
+
+from repro.analysis.experiments import scheduling_case_study
+
+
+def test_sched_policy(run_experiment):
+    exp = run_experiment(scheduling_case_study, goal="EDP")
+    reports = exp.data["reports"]
+
+    oracle = reports["exhaustive-oracle"]
+    assert abs(oracle.mean_regret - 1.0) < 1e-9
+
+    paper = reports["paper-heuristic"]
+    assert paper.mean_regret < reports["big-first"].mean_regret
+    assert paper.mean_regret < reports["little-first"].mean_regret
+    assert paper.mean_regret < 2.0  # near-optimal across the mix
+
+    # The heuristic follows the pseudo-code's placements.
+    assert paper.placements["wordcount"].label == "8A"
+    assert paper.placements["sort"].label == "4X"

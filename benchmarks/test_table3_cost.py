@@ -1,0 +1,38 @@
+"""T3 — Table 3: EDxP and EDxAP vs the number of cores/mappers.
+
+Paper shapes: more cores lowers EDP on both machines; the maximum-Atom
+configuration beats the minimum-Xeon one on EDP for the compute apps;
+EDAP (capital cost) rises with core count for the micro-benchmarks on
+Xeon but falls for the long real-world applications; Sort's costs are
+dominated by Xeon.
+"""
+
+from repro.analysis.experiments import table3_cost
+
+
+def test_table3_cost(run_experiment):
+    exp = run_experiment(table3_cost)
+    tables = exp.data["tables"]
+
+    for wl, table in tables.items():
+        for machine in ("atom", "xeon"):
+            row = table.row("EDP", machine)
+            assert row[-1] < row[0], (wl, machine)
+
+    for wl in ("wordcount", "grep", "naive_bayes", "fp_growth"):
+        table = tables[wl]
+        assert (table.cell("atom", 8).metric("EDP")
+                < table.cell("xeon", 2).metric("EDP")), wl
+
+    # Capital cost: micro vs real-world EDAP trends (§3.5).
+    wc_xeon_edap = tables["wordcount"].row("EDAP", "xeon")
+    assert wc_xeon_edap[-1] > wc_xeon_edap[0]
+    for wl in ("naive_bayes", "fp_growth"):
+        row = tables[wl].row("EDAP", "atom")
+        assert row[-1] < row[0], wl
+
+    # The Sort exception: Xeon dominates both cost classes.
+    sort = tables["sort"]
+    for metric in ("EDP", "EDAP"):
+        assert (sort.cell("xeon", 8).metric(metric)
+                < sort.cell("atom", 8).metric(metric))

@@ -1,0 +1,29 @@
+"""X1 (extension) — phase-aware big/little placement on a mixed cluster.
+
+Asserts the placements the paper's phase characterization implies:
+pinning the reduce phase to the big core beats pinning it to the little
+core for the memory-bound-reduce apps, and little-core maps always cut
+energy.
+"""
+
+from repro.analysis.experiments import phase_scheduling_study
+
+
+def test_x1_phase_scheduling(run_experiment):
+    exp = run_experiment(phase_scheduling_study)
+    results = exp.data["results"]
+
+    for wl in ("naive_bayes", "terasort", "wordcount"):
+        r = results[wl]
+        # Reduce on the big core beats reduce on the little core for
+        # either map pool.
+        assert r["atom/xeon"].edp < r["atom/atom"].edp, wl
+        assert r["xeon/xeon"].edp < r["xeon/atom"].edp, wl
+        # Little-core maps always cut energy (map phase prefers Atom).
+        assert (r["atom/xeon"].dynamic_energy_j
+                < r["xeon/xeon"].dynamic_energy_j), wl
+
+    # For the compute-bound app the characterization-implied split
+    # (little maps, big reduces) is the global EDP optimum.
+    wc = results["wordcount"]
+    assert wc["atom/xeon"].edp == min(r.edp for r in wc.values())

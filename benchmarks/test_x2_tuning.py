@@ -1,0 +1,26 @@
+"""X2 (extension) — the configuration tuning advisor.
+
+Asserts §3.1.1's actionable conclusions: the stock 64 MB / max-frequency
+configuration is never the EDP optimum, tuned block sizes land at
+256-512 MB, and tuning buys a measurable EDP improvement on the little
+core.
+"""
+
+from repro.analysis.experiments import tuning_study
+
+
+def test_x2_tuning(run_experiment):
+    exp = run_experiment(tuning_study)
+    recs = exp.data["recommendations"]
+
+    for (wl, machine), rec in recs.items():
+        assert rec.improvement >= 1.0, (wl, machine)
+        assert rec.best.block_size_mb >= 64.0, (wl, machine)
+
+    # Tuning is worth real EDP on the little core for the compute apps.
+    assert recs[("wordcount", "atom")].improvement > 1.1
+    assert recs[("wordcount", "atom")].best.block_size_mb in (256.0, 512.0)
+
+    # The I/O-bound outlier prefers small-to-mid blocks at low frequency
+    # pressure: its optimum must not be the degenerate 32 MB either.
+    assert recs[("sort", "xeon")].best.block_size_mb >= 64.0

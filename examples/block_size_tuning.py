@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""System-parameter tuning: the paper's HDFS block-size study (§3.1.1).
+
+Sweeps the HDFS block size (32–512 MB) and the core frequency
+(1.2–1.8 GHz) for a compute-bound app (WordCount) and an I/O-bound app
+(Sort) on both servers, then prints:
+
+* the execution-time grid (Fig. 3's data),
+* each configuration's distance from the best one — showing the paper's
+  conclusion that tuning system parameters recovers a large fraction of
+  the little core's performance gap without spending power on frequency.
+
+Run:  python examples/block_size_tuning.py
+"""
+
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import format_table
+from repro.core.characterization import Characterizer
+
+BLOCKS = [32.0, 64.0, 128.0, 256.0, 512.0]
+FREQS = [1.2, 1.4, 1.6, 1.8]
+
+
+def main() -> None:
+    ch = Characterizer()
+    for workload in ("wordcount", "sort"):
+        result = sweep(ch, machine=["atom", "xeon"], workload=[workload],
+                       freq_ghz=FREQS, block_size_mb=BLOCKS)
+        for machine in ("atom", "xeon"):
+            rows = []
+            best = min(
+                result.get(machine=machine, workload=workload,
+                           freq_ghz=f, block_size_mb=b).execution_time_s
+                for f in FREQS for b in BLOCKS)
+            for freq in FREQS:
+                times = [result.get(machine=machine, workload=workload,
+                                    freq_ghz=freq, block_size_mb=b
+                                    ).execution_time_s for b in BLOCKS]
+                rows.append([f"{freq} GHz"] + [round(t, 1) for t in times])
+            print()
+            print(format_table(
+                ["frequency"] + [f"{b:g} MB" for b in BLOCKS], rows,
+                title=f"{workload} on {machine}: execution time [s] "
+                      f"(best {best:.1f} s)"))
+
+        # The §3.1.1 punchline: a well-tuned low frequency beats a badly
+        # tuned high frequency.
+        tuned_low = result.get(machine="atom", workload=workload,
+                               freq_ghz=1.2, block_size_mb=256.0)
+        default_high = result.get(machine="atom", workload=workload,
+                                  freq_ghz=1.8, block_size_mb=32.0)
+        print(f"\n{workload}: Atom at 1.2 GHz with 256 MB blocks runs "
+              f"{tuned_low.execution_time_s:.1f} s vs "
+              f"{default_high.execution_time_s:.1f} s at 1.8 GHz with "
+              f"32 MB blocks -> tuning the system parameter "
+              f"{'beats' if tuned_low.execution_time_s < default_high.execution_time_s else 'rivals'} "
+              f"a 50% frequency uplift.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Phase-aware placement on a mixed big+little cluster (extension).
+
+The paper's phase characterization shows the map and reduce phases can
+prefer *different* cores (map → little for energy; memory-bound reduces
+→ big).  This example runs jobs on a cluster containing both pools and
+pins each phase to one machine type, comparing all four placements on
+time, energy and EDP — the step the paper's §3.2.2 analysis motivates
+("the choice of the core to run map or reduce phase").
+
+Run:  python examples/phase_scheduling.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.phase_scheduler import (PHASE_PLACEMENTS,
+                                        compare_phase_placements)
+
+
+def main() -> None:
+    for workload in ("wordcount", "naive_bayes", "terasort"):
+        results = compare_phase_placements(workload, data_per_node_gb=2.0,
+                                           block_size_mb=128)
+        ranked = sorted(results.items(), key=lambda kv: kv[1].edp)
+        rows = [[p, f"{r.execution_time_s:.1f}",
+                 f"{r.dynamic_energy_j:.0f}", f"{r.edp:.3e}"]
+                for p, r in ranked]
+        print()
+        print(format_table(
+            ["map/reduce placement", "time [s]", "energy [J]", "EDP [J*s]"],
+            rows, title=f"{workload} on 2 Xeon + 2 Atom nodes"))
+        best = ranked[0]
+        homogeneous = min(results["atom/atom"].edp,
+                          results["xeon/xeon"].edp)
+        if best[1].edp < homogeneous:
+            gain = homogeneous / best[1].edp
+            print(f"-> splitting the phases ({best[0]}) beats the best "
+                  f"homogeneous placement by {gain:.2f}x on EDP")
+        else:
+            print(f"-> for this app a homogeneous placement remains "
+                  f"optimal; the best split ({best[0]}) trails it by "
+                  f"{best[1].edp / homogeneous:.2f}x")
+
+    print("\nTakeaway: 'reduce on the big core' is worth it exactly for "
+          "the apps whose reduce the paper found memory-bound (NB, TS), "
+          "while little-core maps always cut energy — a scheduler can "
+          "exploit both at once.")
+
+
+if __name__ == "__main__":
+    main()

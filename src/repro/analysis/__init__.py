@@ -1,0 +1,13 @@
+"""Analysis layer: sweeps, table rendering, per-figure experiment drivers."""
+
+from .experiments import ALL_EXPERIMENTS, Experiment
+from .sweep import SweepResult, sweep
+from .tables import eng, format_grid, format_series, format_table
+from .report import generate_report
+from .validation import (PAPER_CLAIMS, Claim, ClaimResult,
+                         ValidationReport, validate)
+
+__all__ = ["ALL_EXPERIMENTS", "Experiment", "SweepResult", "sweep", "eng",
+           "format_grid", "format_series", "format_table", "PAPER_CLAIMS",
+           "Claim", "ClaimResult", "ValidationReport", "validate",
+           "generate_report"]

@@ -1,0 +1,111 @@
+"""CSV export of experiment data — for plotting outside this repo.
+
+The experiment drivers return structured Python data; this module
+flattens the common shapes (series dictionaries, result grids, cost
+tables) into plain CSV files so users can regenerate the paper's charts
+with their plotting tool of choice.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..mapreduce.driver import JobResult
+from .experiments import Experiment
+
+__all__ = ["experiment_to_csv", "write_experiment_csv", "grid_rows",
+           "series_rows"]
+
+
+def grid_rows(grid: Dict) -> List[List]:
+    """Flatten a coordinate-tuple → JobResult grid into CSV rows."""
+    rows: List[List] = []
+    for key, result in sorted(grid.items(), key=lambda kv: repr(kv[0])):
+        if not isinstance(result, JobResult):
+            raise TypeError(f"grid values must be JobResult, got "
+                            f"{type(result).__name__}")
+        rows.append(list(key) + [
+            result.execution_time_s,
+            result.dynamic_power_w,
+            result.dynamic_energy_j,
+            result.phase_time("map"),
+            result.phase_time("reduce"),
+            result.phase_time("other"),
+            result.ipc,
+        ])
+    return rows
+
+
+_GRID_SUFFIX = ["execution_time_s", "dynamic_power_w", "dynamic_energy_j",
+                "map_s", "reduce_s", "other_s", "ipc"]
+
+
+def series_rows(series: Dict) -> List[List]:
+    """Flatten a label → values / (xs, ys) series dict into CSV rows."""
+    rows: List[List] = []
+    for label, payload in sorted(series.items(), key=lambda kv: repr(kv[0])):
+        key = list(label) if isinstance(label, tuple) else [label]
+        if (isinstance(payload, tuple) and len(payload) == 2
+                and isinstance(payload[0], (list, tuple))):
+            xs, ys = payload
+            for x, y in zip(xs, ys):
+                rows.append(key + [x, y])
+        elif isinstance(payload, (list, tuple)) and payload and isinstance(
+                payload[0], tuple):
+            for x, y in payload:          # [(x, y), ...] point lists
+                rows.append(key + [x, y])
+        else:
+            for index, y in enumerate(payload):
+                rows.append(key + [index, y])
+    return rows
+
+
+def experiment_to_csv(experiment: Experiment) -> Dict[str, str]:
+    """Render every exportable payload of *experiment* as CSV text.
+
+    Returns ``{payload_name: csv_text}``; payloads that are neither grids
+    nor series (e.g. rich report objects) are skipped.
+    """
+    out: Dict[str, str] = {}
+    for name, payload in experiment.data.items():
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        try:
+            if (isinstance(payload, dict) and payload
+                    and isinstance(next(iter(payload.values())), JobResult)):
+                width = len(next(iter(payload)))if isinstance(
+                    next(iter(payload)), tuple) else 1
+                writer.writerow([f"k{i}" for i in range(width)]
+                                + _GRID_SUFFIX)
+                writer.writerows(grid_rows(payload))
+            elif isinstance(payload, dict):
+                rows = series_rows(payload)
+                if not rows:
+                    continue
+                width = len(rows[0])
+                writer.writerow([f"k{i}" for i in range(width - 2)]
+                                + ["x", "y"])
+                writer.writerows(rows)
+            else:
+                continue
+        except (TypeError, AttributeError):
+            continue  # non-tabular payload (reports, cost tables...)
+        out[name] = buffer.getvalue()
+    return out
+
+
+def write_experiment_csv(experiment: Experiment,
+                         directory: Union[str, pathlib.Path]
+                         ) -> List[pathlib.Path]:
+    """Write each exportable payload to ``<dir>/<expid>_<payload>.csv``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for name, text in experiment_to_csv(experiment).items():
+        path = directory / f"{experiment.exp_id}_{name}.csv"
+        path.write_text(text)
+        written.append(path)
+    return written

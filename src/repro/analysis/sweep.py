@@ -1,0 +1,84 @@
+"""Generic parameter-sweep harness over the characterization grid.
+
+Experiments in the paper are cross-products of a few axes (machine,
+frequency, block size, data size, core count).  ``sweep`` expands the
+product, runs every cell through a shared :class:`Characterizer`, and
+returns the results keyed by their coordinates — the figure drivers then
+slice out the series they need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.characterization import Characterizer, RunKey
+from ..mapreduce.driver import JobResult
+
+__all__ = ["SweepResult", "sweep"]
+
+#: Axes accepted by :func:`sweep`, mapping to RunKey fields.
+_AXES = ("machine", "workload", "freq_ghz", "block_size_mb",
+         "data_per_node_gb", "n_nodes", "cores_per_node",
+         "map_slots_per_node")
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep, indexed by coordinate tuples."""
+
+    axes: Tuple[str, ...]
+    results: Dict[Tuple, JobResult] = field(default_factory=dict)
+
+    def get(self, **coords) -> JobResult:
+        """Look up one cell by axis values (all axes must be given)."""
+        key = tuple(coords[a] for a in self.axes)
+        try:
+            return self.results[key]
+        except KeyError:
+            raise KeyError(f"no result at {coords}") from None
+
+    def series(self, x_axis: str, y, **fixed) -> List[Tuple[Any, float]]:
+        """Extract a 1-D series: vary *x_axis*, fix everything else.
+
+        *y* is a callable mapping a :class:`JobResult` to a number.
+        """
+        if x_axis not in self.axes:
+            raise KeyError(f"unknown axis {x_axis!r}; have {self.axes}")
+        out = []
+        for key, result in sorted(self.results.items(),
+                                  key=lambda kv: _sort_key(kv[0])):
+            coords = dict(zip(self.axes, key))
+            if all(coords[a] == v for a, v in fixed.items()):
+                out.append((coords[x_axis], y(result)))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _sort_key(key: Tuple):
+    return tuple((x is None, x) for x in key)
+
+
+def sweep(characterizer: Optional[Characterizer] = None,
+          **axes: Sequence) -> SweepResult:
+    """Run the full cross-product of the given axes.
+
+    Example:
+        >>> res = sweep(machine=["atom", "xeon"], workload=["wordcount"],
+        ...             freq_ghz=[1.2, 1.8])
+        >>> len(res)
+        4
+    """
+    for name in axes:
+        if name not in _AXES:
+            raise KeyError(f"unknown sweep axis {name!r}; valid: {_AXES}")
+    ch = characterizer or Characterizer()
+    names = tuple(axes.keys())
+    result = SweepResult(axes=names)
+    for values in itertools.product(*axes.values()):
+        coords = dict(zip(names, values))
+        result.results[tuple(values)] = ch.run(RunKey(**coords))
+    return result

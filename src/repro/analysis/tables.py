@@ -1,0 +1,69 @@
+"""ASCII rendering of the reproduction's tables and figure series.
+
+The original figures are bar/line/spider charts; a reproduction harness
+needs the *numbers* in a stable, diffable format.  Every experiment
+driver returns structured data and uses these helpers to print the same
+rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_grid", "eng"]
+
+
+def eng(value: float, digits: int = 3) -> str:
+    """Engineering-style compact number (as in the paper's Table 3)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-2:
+        return f"{value:.{digits - 1}E}"
+    return f"{value:.{digits}g}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return eng(value)
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    header = f"{name}  [{x_label} -> {y_label}]"
+    pairs = "  ".join(f"{x}:{eng(y)}" for x, y in zip(xs, ys))
+    return f"{header}\n  {pairs}"
+
+
+def format_grid(title: str, row_labels: Sequence[str],
+                col_labels: Sequence[str],
+                values: Mapping) -> str:
+    """Render a (row, col) -> value mapping as a table."""
+    rows = []
+    for r in row_labels:
+        rows.append([r] + [values.get((r, c), "") for c in col_labels])
+    return format_table(["" ] + list(col_labels), rows, title=title)

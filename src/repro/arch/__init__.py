@@ -1,0 +1,19 @@
+"""Architecture substrate: cores, caches, DVFS, power, machine presets."""
+
+from .caches import KIB, MIB, CacheHierarchy, CacheLevel, MissCurve
+from .cores import CorePerf, CoreSpec, CpuProfile, scale_profile
+from .dvfs import GHZ, PAPER_FREQUENCIES_GHZ, DvfsTable, OperatingPoint, linear_table
+from .meter import MeterReading, WattsUpMeter
+from .power import EnergyBreakdown, NodePower, PowerSpec, integrate_energy
+from .presets import (ATOM_C2758, FRAMEWORK_PROFILE, MACHINES, XEON_E5_2420,
+                      DiskSpec, MachineSpec, NicSpec, machine)
+
+__all__ = [
+    "KIB", "MIB", "CacheHierarchy", "CacheLevel", "MissCurve",
+    "CorePerf", "CoreSpec", "CpuProfile", "scale_profile",
+    "GHZ", "PAPER_FREQUENCIES_GHZ", "DvfsTable", "OperatingPoint",
+    "linear_table", "MeterReading", "WattsUpMeter",
+    "EnergyBreakdown", "NodePower", "PowerSpec", "integrate_energy",
+    "ATOM_C2758", "FRAMEWORK_PROFILE", "MACHINES", "XEON_E5_2420",
+    "DiskSpec", "MachineSpec", "NicSpec", "machine",
+]

@@ -1,0 +1,105 @@
+"""Dynamic voltage and frequency scaling (DVFS).
+
+The paper sweeps the core operating frequency over 1.2 / 1.4 / 1.6 /
+1.8 GHz on both servers.  Dynamic power scales as ``C·V²·f`` and leakage
+roughly with ``V``, so the voltage associated with each frequency matters;
+we model the standard near-linear V/f relationship of these parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["GHZ", "OperatingPoint", "DvfsTable", "PAPER_FREQUENCIES_GHZ"]
+
+GHZ = 1e9
+
+#: The four operating frequencies the paper sweeps (§3).
+PAPER_FREQUENCIES_GHZ: Tuple[float, ...] = (1.2, 1.4, 1.6, 1.8)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair."""
+
+    freq_hz: float
+    voltage: float
+
+    def __post_init__(self):
+        if self.freq_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+
+    @property
+    def freq_ghz(self) -> float:
+        return self.freq_hz / GHZ
+
+
+class DvfsTable:
+    """An ordered set of operating points with interpolation.
+
+    Frequencies between two defined points interpolate the voltage
+    linearly; requests outside the supported range raise, matching real
+    governors which refuse out-of-range setpoints.
+    """
+
+    def __init__(self, points: Sequence[OperatingPoint]):
+        if not points:
+            raise ValueError("DVFS table needs at least one operating point")
+        pts = sorted(points, key=lambda p: p.freq_hz)
+        freqs = [p.freq_hz for p in pts]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("duplicate frequencies in DVFS table")
+        volts = [p.voltage for p in pts]
+        if volts != sorted(volts):
+            raise ValueError("voltage must be non-decreasing with frequency")
+        self.points: Tuple[OperatingPoint, ...] = tuple(pts)
+
+    @property
+    def min_freq_hz(self) -> float:
+        return self.points[0].freq_hz
+
+    @property
+    def max_freq_hz(self) -> float:
+        return self.points[-1].freq_hz
+
+    @property
+    def frequencies_ghz(self) -> List[float]:
+        return [p.freq_ghz for p in self.points]
+
+    def supports(self, freq_hz: float) -> bool:
+        return self.min_freq_hz <= freq_hz <= self.max_freq_hz
+
+    def voltage_at(self, freq_hz: float) -> float:
+        """Voltage for *freq_hz*, interpolating between defined points."""
+        if not self.supports(freq_hz):
+            raise ValueError(
+                f"frequency {freq_hz / GHZ:.2f} GHz outside supported range "
+                f"[{self.min_freq_hz / GHZ:.2f}, {self.max_freq_hz / GHZ:.2f}]")
+        pts = self.points
+        for lo, hi in zip(pts, pts[1:]):
+            if lo.freq_hz <= freq_hz <= hi.freq_hz:
+                if hi.freq_hz == lo.freq_hz:
+                    return lo.voltage
+                frac = (freq_hz - lo.freq_hz) / (hi.freq_hz - lo.freq_hz)
+                return lo.voltage + frac * (hi.voltage - lo.voltage)
+        return pts[-1].voltage  # single-point table
+
+    def operating_point(self, freq_hz: float) -> OperatingPoint:
+        return OperatingPoint(freq_hz, self.voltage_at(freq_hz))
+
+
+def linear_table(freqs_ghz: Sequence[float], v_min: float, v_max: float
+                 ) -> DvfsTable:
+    """Build a table with voltage linear in frequency over *freqs_ghz*."""
+    freqs = sorted(freqs_ghz)
+    if len(freqs) == 1:
+        return DvfsTable([OperatingPoint(freqs[0] * GHZ, v_max)])
+    lo, hi = freqs[0], freqs[-1]
+    points = [
+        OperatingPoint(f * GHZ, v_min + (v_max - v_min) * (f - lo) / (hi - lo))
+        for f in freqs
+    ]
+    return DvfsTable(points)

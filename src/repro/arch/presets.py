@@ -1,0 +1,234 @@
+"""Machine presets: the paper's two servers (Table 1).
+
+Every number here is either taken directly from the paper (core counts,
+cache sizes, frequencies, die areas), from the parts' public datasheets
+(latencies, voltages, TDP-class power), or calibrated so the model
+reproduces the ratios the paper reports (see DESIGN.md §4 "shape
+targets" and ``tests/test_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .caches import KIB, MIB, CacheHierarchy, CacheLevel
+from .cores import CoreSpec, CpuProfile
+from .dvfs import GHZ, PAPER_FREQUENCIES_GHZ, DvfsTable, linear_table
+from .power import PowerSpec
+
+__all__ = [
+    "DiskSpec", "NicSpec", "MachineSpec",
+    "ATOM_C2758", "XEON_E5_2420", "MACHINES", "machine", "FRAMEWORK_PROFILE",
+]
+
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Local storage: a SATA spinning disk on both servers."""
+
+    bandwidth_bytes_s: float
+    latency_s: float
+    channels: int = 1
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_s <= 0 or self.latency_s < 0:
+            raise ValueError("invalid disk spec")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface: gigabit Ethernet on both servers."""
+
+    bandwidth_bytes_s: float
+    latency_s: float
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_s <= 0 or self.latency_s < 0:
+            raise ValueError("invalid NIC spec")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything needed to instantiate one server node of a given type.
+
+    ``io_path_bw_per_ghz`` is the node-level sustainable throughput of the
+    Hadoop storage/network data path (kernel + JVM checksumming,
+    serialization and buffer copies) per GHz of core clock.  Microserver
+    studies (the paper's refs [2], [30]) measure HDFS throughput in the
+    tens of MB/s on Atom-class nodes while Xeon-class nodes saturate the
+    disk; because the path is CPU work it scales with frequency — the
+    mechanism behind the little core's much larger Sort gap and its
+    higher frequency sensitivity (§3.1.1).
+    """
+
+    name: str
+    core: CoreSpec
+    cores_per_node: int
+    cores_per_chip: int
+    chip_area_mm2: float
+    dvfs: DvfsTable
+    power: PowerSpec
+    disk: DiskSpec
+    nic: NicSpec
+    dram_bytes: float
+    io_path_bw_per_ghz: float = 500 * 1e6
+
+    def __post_init__(self):
+        if self.cores_per_node < 1 or self.cores_per_chip < 1:
+            raise ValueError("core counts must be >= 1")
+        if self.chip_area_mm2 <= 0 or self.dram_bytes <= 0:
+            raise ValueError("area and DRAM must be positive")
+        if self.io_path_bw_per_ghz <= 0:
+            raise ValueError("I/O-path bandwidth must be positive")
+
+    @property
+    def area_per_core_mm2(self) -> float:
+        """Die area prorated per core — used by the EDxAP cost metrics."""
+        return self.chip_area_mm2 / self.cores_per_chip
+
+    def area_for_cores(self, n_cores: int) -> float:
+        """Prorated silicon area for an *n_cores* allocation.
+
+        The paper's Table 3 sweeps 2–8 cores on both parts; on the Xeon
+        node (two 6-core chips) an 8-core allocation spans both sockets,
+        which this proration handles naturally.
+        """
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        return self.area_per_core_mm2 * n_cores
+
+
+# ---------------------------------------------------------------------------
+# Intel Atom C2758 ("little"): 8 Silvermont cores, 2-level cache, 160 mm².
+# ---------------------------------------------------------------------------
+
+_ATOM_HIERARCHY = CacheHierarchy(
+    levels=[
+        CacheLevel("L1d", 24 * KIB, latency_cycles=3),
+        # 4 modules x 1024 KiB shared per core pair; ~1 MiB visible slice.
+        CacheLevel("L2", 1 * MIB, latency_cycles=17),
+    ],
+    # The C2758's fabric + memory controller clock with the cores: half
+    # the DRAM trip is core-domain cycles, so memory-bound time shrinks
+    # with frequency (unlike the Xeon, whose uncore barely cares).
+    dram_latency_ns=55.0,
+    dram_latency_cycles=85.0,
+)
+
+_ATOM_CORE = CoreSpec(
+    name="Atom C2758",
+    microarch="Silvermont",
+    issue_width=2,
+    pipeline_depth=13,
+    out_of_order=False,          # modest 2-wide OoO; modelled as low-hide
+    stall_hide=0.10,
+    mlp=2.0,
+    hierarchy=_ATOM_HIERARCHY,
+    io_overlap=0.35,
+    io_path_overhead=1.6,
+)
+
+ATOM_C2758 = MachineSpec(
+    name="atom",
+    core=_ATOM_CORE,
+    cores_per_node=8,
+    cores_per_chip=8,
+    chip_area_mm2=160.0,          # paper §1.2
+    dvfs=linear_table(PAPER_FREQUENCIES_GHZ, v_min=0.87, v_max=0.95),
+    power=PowerSpec(
+        base_watts=18.0,
+        core_dynamic_coeff=0.9,   # W per core per V^2*GHz
+        core_static_uplift=12.0,
+        disk_active_uplift=6.0,
+        nic_active_uplift=2.0,
+        idle_voltage=0.75,
+        job_active_uplift=3.0,
+    ),
+    disk=DiskSpec(bandwidth_bytes_s=130 * MB, latency_s=0.006),
+    nic=NicSpec(bandwidth_bytes_s=117 * MB, latency_s=1e-4),
+    dram_bytes=8 * 1024 ** 3,     # paper: same 8 GB DRAM on both servers
+    io_path_bw_per_ghz=14 * MB,   # ~25 MB/s at 1.8 GHz: CPU-bound I/O path
+)
+
+
+# ---------------------------------------------------------------------------
+# Intel Xeon E5-2420 ("big"): 2 x 6 Sandy Bridge cores, 3-level cache,
+# 216 mm² per chip.
+# ---------------------------------------------------------------------------
+
+_XEON_HIERARCHY = CacheHierarchy(
+    levels=[
+        CacheLevel("L1d", 32 * KIB, latency_cycles=4),
+        CacheLevel("L2", 256 * KIB, latency_cycles=12),
+        CacheLevel("L3", 15 * MIB, latency_cycles=30),
+    ],
+    dram_latency_ns=80.0,
+)
+
+_XEON_CORE = CoreSpec(
+    name="Xeon E5-2420",
+    microarch="Sandy Bridge",
+    issue_width=4,
+    pipeline_depth=16,
+    out_of_order=True,
+    stall_hide=0.65,
+    mlp=4.0,
+    hierarchy=_XEON_HIERARCHY,
+    io_overlap=0.85,
+    io_path_overhead=1.0,
+    frontend_penalty_cycles=30.0,  # refills stream from the L3 ring
+)
+
+XEON_E5_2420 = MachineSpec(
+    name="xeon",
+    core=_XEON_CORE,
+    cores_per_node=12,            # two E5-2420 sockets per node
+    cores_per_chip=6,
+    chip_area_mm2=216.0,          # paper §1.2
+    dvfs=linear_table(PAPER_FREQUENCIES_GHZ, v_min=0.95, v_max=1.05),
+    power=PowerSpec(
+        base_watts=65.0,
+        core_dynamic_coeff=8.0,
+        core_static_uplift=12.0,
+        disk_active_uplift=6.0,
+        nic_active_uplift=2.0,
+        idle_voltage=0.80,
+        job_active_uplift=14.0,
+    ),
+    disk=DiskSpec(bandwidth_bytes_s=130 * MB, latency_s=0.006),
+    nic=NicSpec(bandwidth_bytes_s=117 * MB, latency_s=1e-4),
+    dram_bytes=8 * 1024 ** 3,
+    io_path_bw_per_ghz=160 * MB,  # ~290 MB/s at 1.8 GHz: usually disk-bound
+)
+
+
+MACHINES: Dict[str, MachineSpec] = {
+    ATOM_C2758.name: ATOM_C2758,
+    XEON_E5_2420.name: XEON_E5_2420,
+}
+
+
+def machine(name: str) -> MachineSpec:
+    """Look up a machine preset by name (``"atom"`` or ``"xeon"``)."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}") from None
+
+
+#: CPU profile of Hadoop framework code (JVM startup, heartbeats, RPC):
+#: branchy, poor locality, low ILP — identical on both machines, but the
+#: little core retires it more slowly.
+FRAMEWORK_PROFILE = CpuProfile.characterized(
+    "hadoop-framework",
+    ilp=1.2,
+    apki=440.0,
+    l1_miss_ratio=0.13,
+    locality_alpha=0.50,
+    branch_mpki=9.0,
+    frontend_mpki=16.0,
+)

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate any figure/table of the paper.
+
+Examples::
+
+    repro-hadoop list
+    repro-hadoop run F1 F2
+    repro-hadoop run all
+    repro-hadoop job --machine atom --workload wordcount --freq 1.6
+    repro-hadoop validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import ALL_EXPERIMENTS
+from .core.characterization import Characterizer
+from .core.metrics import edp
+from .mapreduce.driver import simulate_job
+from .workloads.base import all_workloads
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hadoop",
+        description=("Reproduction of 'Big vs little core for "
+                     "energy-efficient Hadoop computing'"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids and workloads")
+
+    run = sub.add_parser("run", help="regenerate figures/tables by id")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids (F1..F17, T3, S1) or 'all'")
+
+    sub.add_parser("validate",
+                   help="evaluate every paper claim against the model")
+
+    report = sub.add_parser(
+        "report", help="write the full reproduction report (markdown)")
+    report.add_argument("--output", "-o", default="reproduction_report.md",
+                        help="output path (default reproduction_report.md)")
+
+    job = sub.add_parser("job", help="simulate a single Hadoop job")
+    job.add_argument("--machine", choices=["atom", "xeon"], required=True)
+    job.add_argument("--workload", required=True)
+    job.add_argument("--freq", type=float, default=1.8,
+                     help="core frequency in GHz (1.2-1.8)")
+    job.add_argument("--block-mb", type=float, default=64.0)
+    job.add_argument("--data-gb", type=float, default=1.0,
+                     help="input data per node in GB")
+    job.add_argument("--nodes", type=int, default=3)
+    job.add_argument("--cores", type=int, default=None,
+                     help="active cores per node")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:4s} {doc}")
+    print("workloads:")
+    for name, spec in sorted(all_workloads().items()):
+        print(f"  {name:12s} {spec.full_name} [{spec.category}]")
+    return 0
+
+
+def _cmd_run(ids: List[str]) -> int:
+    if any(i.lower() == "all" for i in ids):
+        ids = list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i.upper() not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; "
+              f"valid: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    characterizer = Characterizer()
+    for exp_id in ids:
+        experiment = ALL_EXPERIMENTS[exp_id.upper()](characterizer)
+        print(experiment.render())
+        print()
+    return 0
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    try:
+        result = simulate_job(
+            args.machine, args.workload, n_nodes=args.nodes,
+            freq_ghz=args.freq, block_size_mb=args.block_mb,
+            data_per_node_gb=args.data_gb, cores_per_node=args.cores)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"{args.workload} on {args.machine} "
+          f"({args.nodes} nodes @ {args.freq} GHz, "
+          f"{args.block_mb:g} MB blocks, {args.data_gb:g} GB/node)")
+    print(f"  execution time : {result.execution_time_s:10.1f} s")
+    print(f"  dynamic power  : {result.dynamic_power_w:10.1f} W")
+    print(f"  dynamic energy : {result.dynamic_energy_j:10.1f} J")
+    print(f"  EDP            : {edp(result.dynamic_energy_j, result.execution_time_s):10.3e} J*s")
+    print(f"  aggregate IPC  : {result.ipc:10.2f}")
+    for phase in ("map", "reduce", "other"):
+        print(f"  {phase:6s} phase   : {result.phase_time(phase):10.1f} s "
+              f"({100 * result.phase_fraction(phase):5.1f}%)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments)
+    if args.command == "validate":
+        from .analysis.validation import validate
+        report = validate(Characterizer())
+        print(report.render())
+        return 0 if report.all_ok else 1
+    if args.command == "report":
+        from .analysis.report import generate_report
+        text = generate_report(Characterizer())
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        return 0
+    if args.command == "job":
+        return _cmd_job(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

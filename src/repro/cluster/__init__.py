@@ -1,0 +1,5 @@
+"""Cluster substrate: server nodes composed from machine presets."""
+
+from .server import Cluster, ServerNode
+
+__all__ = ["Cluster", "ServerNode"]

@@ -1,0 +1,38 @@
+"""Core contribution layer: metrics, characterization, cost, scheduling."""
+
+from .acceleration import (PAPER_ACCEL_RATES, AccelConfig, accelerated_time,
+                           map_phase_speedup, speedup_ratio,
+                           sweep_acceleration, transfer_seconds)
+from .characterization import (PAPER_MICRO_GB, PAPER_REAL_GB, Characterizer,
+                               RunKey)
+from .classifier import (ResourceMix, classification_agrees,
+                         classify_measured, classify_spec, resource_mix)
+from .cost import (COST_METRICS, PAPER_CORE_COUNTS, CostCell, CostTable,
+                   cost_table, spider_series)
+from .metrics import (CostPoint, ed2ap, ed2p, ed3p, edap, edp, edxap, edxp,
+                      geomean, normalize, speedup)
+from .phase_scheduler import (PHASE_PLACEMENTS, PhasePlacementResult,
+                              best_phase_placement,
+                              compare_phase_placements,
+                              simulate_phase_scheduled_job)
+from .tuning import TuningAdvisor, TuningPoint, TuningRecommendation
+from .scheduler import (ALL_POLICIES, BigestFirstPolicy,
+                        ExhaustiveOraclePolicy, LittlestFirstPolicy,
+                        PaperHeuristicPolicy, Placement, PolicyReport,
+                        evaluate_policies)
+
+__all__ = [
+    "PAPER_ACCEL_RATES", "AccelConfig", "accelerated_time",
+    "map_phase_speedup", "speedup_ratio", "sweep_acceleration",
+    "transfer_seconds", "PAPER_MICRO_GB", "PAPER_REAL_GB", "Characterizer",
+    "RunKey", "ResourceMix", "classification_agrees", "classify_measured",
+    "classify_spec", "resource_mix", "COST_METRICS", "PAPER_CORE_COUNTS",
+    "CostCell", "CostTable", "cost_table", "spider_series", "CostPoint",
+    "ed2ap", "ed2p", "ed3p", "edap", "edp", "edxap", "edxp", "geomean",
+    "normalize", "speedup", "ALL_POLICIES", "BigestFirstPolicy",
+    "ExhaustiveOraclePolicy", "LittlestFirstPolicy", "PaperHeuristicPolicy",
+    "Placement", "PolicyReport", "evaluate_policies",
+    "PHASE_PLACEMENTS", "PhasePlacementResult", "best_phase_placement",
+    "compare_phase_placements", "simulate_phase_scheduled_job",
+    "TuningAdvisor", "TuningPoint", "TuningRecommendation",
+]

@@ -1,0 +1,120 @@
+"""FPGA map-phase offload model and post-acceleration analysis (§3.4).
+
+The paper assumes the hotspot — the map phase — is offloaded to an FPGA
+and asks how that changes the big-vs-little choice for the code that
+remains on the CPU.  Following the paper exactly, acceleration is treated
+parametrically ("without diving into how each application can be
+accelerated"): the accelerated map phase costs
+
+    time_cpu + time_fpga + time_trans
+
+where ``time_cpu`` is the software residue that stays on the CPU (input
+delivery, result collection), ``time_fpga`` the offloaded kernel at a
+swept acceleration rate (1–100×), and ``time_trans`` the PCIe transfer of
+the map phase's input and output bytes.
+
+The figure of merit is the paper's Eq. (1):
+
+    speedup ratio = (t_Atom / t_Xeon)_after  /  (t_Atom / t_Xeon)_before
+
+< 1 means acceleration shrinks the benefit of migrating to the big core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..mapreduce.driver import JobResult
+
+__all__ = ["AccelConfig", "accelerated_time", "speedup_ratio",
+           "sweep_acceleration", "PAPER_ACCEL_RATES"]
+
+#: Acceleration rates swept in Fig. 14 (1x = no speedup, up to 100x).
+PAPER_ACCEL_RATES: Tuple[float, ...] = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+
+
+@dataclass(frozen=True)
+class AccelConfig:
+    """Offload parameters.
+
+    Attributes:
+        accel_rate: FPGA speedup over the CPU map kernel (the paper's
+            swept "mapper acceleration", 1–100×).
+        residual_fraction: share of the map phase that cannot leave the
+            CPU (split/deserialize/collect) — the post-acceleration code.
+        link_bandwidth_bytes_s: host↔FPGA link (PCIe gen3 x8-class).
+    """
+
+    accel_rate: float
+    residual_fraction: float = 0.25
+    link_bandwidth_bytes_s: float = 6.0e9
+
+    def __post_init__(self):
+        if self.accel_rate < 1.0:
+            raise ValueError("acceleration rate must be >= 1 (1 = none)")
+        if not 0.0 <= self.residual_fraction <= 1.0:
+            raise ValueError("residual fraction must be in [0, 1]")
+        if self.link_bandwidth_bytes_s <= 0:
+            raise ValueError("link bandwidth must be positive")
+
+
+def transfer_seconds(result: JobResult, config: AccelConfig) -> float:
+    """PCIe time to move the map phase's input and output per node."""
+    per_node_bytes = (result.counters.input_bytes
+                      + result.counters.map_output_bytes) / result.n_nodes
+    return per_node_bytes / config.link_bandwidth_bytes_s
+
+
+def accelerated_time(result: JobResult, config: AccelConfig) -> float:
+    """Whole-application time after offloading the map phase.
+
+    ``time_allCPU / (time_cpu + time_fpga + time_trans)`` is the map-phase
+    speedup; the rest of the job (reduce, setup, cleanup) is unchanged.
+    """
+    t_map = result.phase_time("map")
+    rest = result.execution_time_s - t_map
+    time_cpu = t_map * config.residual_fraction
+    time_fpga = t_map * (1.0 - config.residual_fraction) / config.accel_rate
+    time_trans = transfer_seconds(result, config)
+    return rest + time_cpu + time_fpga + time_trans
+
+
+def map_phase_speedup(result: JobResult, config: AccelConfig) -> float:
+    """The paper's map-phase speedup: time_allCPU / accelerated map time."""
+    t_map = result.phase_time("map")
+    if t_map <= 0:
+        return 1.0
+    accel = (t_map * config.residual_fraction
+             + t_map * (1.0 - config.residual_fraction) / config.accel_rate
+             + transfer_seconds(result, config))
+    return t_map / accel
+
+
+def speedup_ratio(atom: JobResult, xeon: JobResult, config: AccelConfig
+                  ) -> float:
+    """Eq. (1): post-acceleration Atom→Xeon speedup over pre-acceleration.
+
+    Both results must describe the same workload and configuration on the
+    two machines.
+    """
+    if atom.workload != xeon.workload:
+        raise ValueError(
+            f"mismatched workloads: {atom.workload} vs {xeon.workload}")
+    before = atom.execution_time_s / xeon.execution_time_s
+    after = (accelerated_time(atom, config)
+             / accelerated_time(xeon, config))
+    return after / before
+
+
+def sweep_acceleration(atom: JobResult, xeon: JobResult,
+                       rates: Iterable[float] = PAPER_ACCEL_RATES,
+                       residual_fraction: float = 0.25
+                       ) -> List[Tuple[float, float]]:
+    """Fig. 14's series: (acceleration rate, Eq. 1 speedup ratio)."""
+    out = []
+    for rate in rates:
+        config = AccelConfig(accel_rate=rate,
+                             residual_fraction=residual_fraction)
+        out.append((rate, speedup_ratio(atom, xeon, config)))
+    return out

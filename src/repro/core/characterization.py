@@ -1,0 +1,128 @@
+"""Characterization database: the measurement grid behind every figure.
+
+The paper's methodology is a full-factorial sweep over application ×
+machine × frequency × HDFS block size × data size × core count, with
+execution time, dynamic power and per-phase numbers recorded for each
+cell.  This module runs those cells through the simulator and memoizes
+them, so the seventeen figure/table drivers (and the scheduler) share one
+consistent dataset instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mapreduce.config import DEFAULT_CONF, JobConf
+from ..mapreduce.driver import JobResult, simulate_job
+from .metrics import CostPoint, edxp
+
+__all__ = ["RunKey", "Characterizer", "PAPER_MICRO_GB", "PAPER_REAL_GB"]
+
+#: Data sizes the paper uses by default: 1 GB/node for micro-benchmarks,
+#: 10 GB/node for the real-world applications (§3).
+PAPER_MICRO_GB = 1.0
+PAPER_REAL_GB = 10.0
+
+#: Data sizes for the core-count (Table 3) study: at 512 MB blocks a
+#: 1 GB/node input yields only two map tasks per node, which would starve
+#: the mappers-equals-cores sweep, so the micro-benchmarks run 2 GB/node
+#: (four blocks per node — enough work for small M, while large M runs
+#: into the paper's diminishing returns).
+COST_STUDY_MICRO_GB = 2.0
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """One cell of the measurement grid."""
+
+    machine: str
+    workload: str
+    freq_ghz: float = 1.8
+    block_size_mb: float = 64.0
+    data_per_node_gb: float = 1.0
+    n_nodes: int = 3
+    cores_per_node: Optional[int] = None
+    map_slots_per_node: Optional[int] = None
+
+    def describe(self) -> str:
+        cores = self.cores_per_node if self.cores_per_node else "all"
+        return (f"{self.workload} on {self.machine} @ {self.freq_ghz} GHz, "
+                f"{self.block_size_mb:g} MB blocks, "
+                f"{self.data_per_node_gb:g} GB/node, {cores} cores")
+
+
+class Characterizer:
+    """Runs and memoizes grid cells.
+
+    Example:
+        >>> ch = Characterizer()
+        >>> r = ch.run(RunKey("atom", "wordcount"))
+        >>> r.execution_time_s > 0
+        True
+    """
+
+    def __init__(self, conf: JobConf = DEFAULT_CONF):
+        self.conf = conf
+        self._cache: Dict[RunKey, JobResult] = {}
+
+    def run(self, key: RunKey) -> JobResult:
+        """Simulate one grid cell (cached)."""
+        result = self._cache.get(key)
+        if result is None:
+            result = simulate_job(
+                key.machine, key.workload,
+                n_nodes=key.n_nodes,
+                freq_ghz=key.freq_ghz,
+                block_size_mb=key.block_size_mb,
+                data_per_node_gb=key.data_per_node_gb,
+                cores_per_node=key.cores_per_node,
+                map_slots_per_node=key.map_slots_per_node,
+                conf=self.conf,
+            )
+            self._cache[key] = result
+        return result
+
+    def run_many(self, keys: Iterable[RunKey]) -> List[JobResult]:
+        return [self.run(key) for key in keys]
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # -- derived quantities -------------------------------------------------
+    def default_data_gb(self, workload: str) -> float:
+        """The paper's default data size for a workload class."""
+        from ..workloads.base import REAL_WORLD
+        return PAPER_REAL_GB if workload in REAL_WORLD else PAPER_MICRO_GB
+
+    def cost_point(self, key: RunKey, label: Optional[str] = None
+                   ) -> CostPoint:
+        """Run a cell and wrap it as a :class:`CostPoint` (EDxP/EDxAP).
+
+        The area charged is the die area prorated over the cores actually
+        allocated (§1.2 / Table 3 methodology).
+        """
+        from ..arch.presets import machine
+        result = self.run(key)
+        spec = machine(key.machine)
+        cores = key.cores_per_node or spec.cores_per_node
+        area = spec.area_for_cores(cores)
+        return CostPoint(
+            label=label or key.describe(),
+            energy_j=result.dynamic_energy_j,
+            delay_s=result.execution_time_s,
+            area_mm2=area,
+        )
+
+    def speedup_atom_to_xeon(self, workload: str, **kwargs) -> float:
+        """Execution-time ratio Atom/Xeon for matched configurations."""
+        atom = self.run(RunKey("atom", workload, **kwargs))
+        xeon = self.run(RunKey("xeon", workload, **kwargs))
+        return atom.execution_time_s / xeon.execution_time_s
+
+    def edxp_ratio(self, workload: str, x: int = 1, **kwargs) -> float:
+        """EDxP ratio Atom/Xeon (< 1 means the little core wins)."""
+        atom = self.run(RunKey("atom", workload, **kwargs))
+        xeon = self.run(RunKey("xeon", workload, **kwargs))
+        return (edxp(atom.dynamic_energy_j, atom.execution_time_s, x)
+                / edxp(xeon.dynamic_energy_j, xeon.execution_time_s, x))

@@ -1,0 +1,96 @@
+"""Application classification: compute-bound, I/O-bound, or hybrid.
+
+The §3.5 scheduling pseudo-code dispatches on a three-way classification
+of the application (C / I / H).  The paper assigns classes by
+characterization; we provide both:
+
+* the *declared* class carried by each :class:`WorkloadSpec` (Table 2
+  knowledge), and
+* a *measured* classifier that derives the class from a simulated run's
+  resource mix — so the scheduler can also handle workloads it has never
+  seen, and tests can check that measurement agrees with declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..mapreduce.driver import JobResult
+from ..workloads.base import Category, WorkloadSpec, workload
+
+__all__ = ["ResourceMix", "classify_spec", "classify_measured",
+           "classification_agrees"]
+
+
+@dataclass(frozen=True)
+class ResourceMix:
+    """Fractions of the run's busy time by resource class."""
+
+    compute_fraction: float
+    io_fraction: float
+
+    def __post_init__(self):
+        if self.compute_fraction < 0 or self.io_fraction < 0:
+            raise ValueError("fractions must be non-negative")
+
+    @property
+    def io_to_compute(self) -> float:
+        if self.compute_fraction <= 0:
+            return float("inf")
+        return self.io_fraction / self.compute_fraction
+
+
+def classify_spec(spec_or_name) -> str:
+    """The declared Table 2 class of a workload."""
+    spec = (workload(spec_or_name) if isinstance(spec_or_name, str)
+            else spec_or_name)
+    return spec.category
+
+
+def resource_mix(result: JobResult) -> ResourceMix:
+    """Derive the compute/I/O mix from a run's instruction and byte flows.
+
+    Compute demand is measured in core-seconds (cycles / frequency-free);
+    I/O demand in bytes moved relative to the input.  Both are normalized
+    per input byte so the classification is size-independent.
+    """
+    c = result.counters
+    if c.input_bytes <= 0:
+        raise ValueError("run processed no input")
+    instructions_per_byte = c.instructions / c.input_bytes
+    bytes_moved = (c.input_bytes + c.spill_bytes + c.shuffle_bytes
+                   + c.output_bytes)
+    io_per_byte = bytes_moved / c.input_bytes
+    # Normalize to comparable "demand" units: one instruction-per-byte of
+    # compute vs one byte-of-traffic-per-byte at a nominal 40
+    # instructions-per-byte-equivalent I/O cost.
+    return ResourceMix(
+        compute_fraction=instructions_per_byte,
+        io_fraction=io_per_byte * 40.0,
+    )
+
+
+def classify_measured(result: JobResult,
+                      io_threshold: float = 0.65,
+                      compute_threshold: float = 0.18) -> str:
+    """Classify a run as compute / io / hybrid from its resource mix.
+
+    A run whose I/O demand approaches its compute demand is I/O-bound;
+    one whose I/O demand is well under a fifth of the compute demand is
+    compute-bound; anything between is hybrid — thresholds calibrated so
+    the measured classes match the paper's Table 2 split: Sort (I/O),
+    WordCount/NB/FP (compute), Grep/TeraSort (hybrid).
+    """
+    mix = resource_mix(result)
+    ratio = mix.io_to_compute
+    if ratio >= io_threshold:
+        return Category.IO
+    if ratio <= compute_threshold:
+        return Category.COMPUTE
+    return Category.HYBRID
+
+
+def classification_agrees(result: JobResult) -> bool:
+    """True if the measured class matches the workload's declared class."""
+    return classify_measured(result) == classify_spec(result.workload)

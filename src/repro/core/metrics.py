@@ -1,0 +1,133 @@
+"""Efficiency and cost metrics: the EDxP / EDxAP family.
+
+The paper's figures of merit (§1.2):
+
+* ``EDP  = E · t``        — energy-delay product (J·s);
+* ``ED²P = E · t²``       — near-real-time energy efficiency (J·s²);
+* ``ED³P = E · t³``       — stronger performance constraint (J·s³);
+* ``EDAP  = E · t · A``   — adds die area as capital cost (J·mm²·s);
+* ``ED²AP = E · t² · A``  — real-time cost energy efficiency (J·mm²·s²).
+
+``E`` is *dynamic* energy (average power minus idle, times execution
+time — the paper's §1.1 estimator) and ``A`` the die area of the cores
+used (Atom 160 mm², Xeon 216 mm², prorated per core for the Table 3
+study).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+__all__ = ["edxp", "edp", "ed2p", "ed3p", "edxap", "edap", "ed2ap",
+           "speedup", "geomean", "normalize", "CostPoint"]
+
+
+def edxp(energy_j: float, delay_s: float, x: int = 1) -> float:
+    """Generalized energy-delay product ``E · t^x``."""
+    if energy_j < 0 or delay_s < 0:
+        raise ValueError("energy and delay must be non-negative")
+    if x < 0:
+        raise ValueError("delay exponent must be non-negative")
+    return energy_j * delay_s ** x
+
+
+def edp(energy_j: float, delay_s: float) -> float:
+    """Energy-delay product (J·s)."""
+    return edxp(energy_j, delay_s, 1)
+
+
+def ed2p(energy_j: float, delay_s: float) -> float:
+    """Energy-delay² product (J·s²)."""
+    return edxp(energy_j, delay_s, 2)
+
+
+def ed3p(energy_j: float, delay_s: float) -> float:
+    """Energy-delay³ product (J·s³)."""
+    return edxp(energy_j, delay_s, 3)
+
+
+def edxap(energy_j: float, delay_s: float, area_mm2: float, x: int = 1
+          ) -> float:
+    """Area-weighted energy-delay product ``E · t^x · A`` (capital cost)."""
+    if area_mm2 <= 0:
+        raise ValueError("area must be positive")
+    return edxp(energy_j, delay_s, x) * area_mm2
+
+
+def edap(energy_j: float, delay_s: float, area_mm2: float) -> float:
+    """Energy-delay-area product (J·mm²·s)."""
+    return edxap(energy_j, delay_s, area_mm2, 1)
+
+
+def ed2ap(energy_j: float, delay_s: float, area_mm2: float) -> float:
+    """Energy-delay²-area product (J·mm²·s²)."""
+    return edxap(energy_j, delay_s, area_mm2, 2)
+
+
+def speedup(baseline_s: float, improved_s: float) -> float:
+    """How many times faster *improved* is than *baseline*."""
+    if baseline_s <= 0 or improved_s <= 0:
+        raise ValueError("times must be positive")
+    return baseline_s / improved_s
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the customary average for ratios)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: Dict[str, float], reference: str) -> Dict[str, float]:
+    """Divide every entry by the *reference* entry (spider-graph prep)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not among {sorted(values)}")
+    ref = values[reference]
+    if ref <= 0:
+        raise ValueError("reference value must be positive")
+    return {key: value / ref for key, value in values.items()}
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """All five figures of merit for one (configuration, run) pair."""
+
+    label: str
+    energy_j: float
+    delay_s: float
+    area_mm2: float
+
+    @property
+    def edp(self) -> float:
+        return edp(self.energy_j, self.delay_s)
+
+    @property
+    def ed2p(self) -> float:
+        return ed2p(self.energy_j, self.delay_s)
+
+    @property
+    def ed3p(self) -> float:
+        return ed3p(self.energy_j, self.delay_s)
+
+    @property
+    def edap(self) -> float:
+        return edap(self.energy_j, self.delay_s, self.area_mm2)
+
+    @property
+    def ed2ap(self) -> float:
+        return ed2ap(self.energy_j, self.delay_s, self.area_mm2)
+
+    def metric(self, name: str) -> float:
+        """Look a metric up by its paper name (``"EDP"``, ``"ED2AP"``...)."""
+        table = {"EDP": self.edp, "ED2P": self.ed2p, "ED3P": self.ed3p,
+                 "EDAP": self.edap, "ED2AP": self.ed2ap}
+        try:
+            return table[name.upper()]
+        except KeyError:
+            raise KeyError(f"unknown metric {name!r}; choose from "
+                           f"{sorted(table)}") from None

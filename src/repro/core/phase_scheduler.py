@@ -1,0 +1,123 @@
+"""Phase-aware heterogeneous scheduling (extension of §3.5).
+
+The paper's phase characterization (Figs. 7/8/13) shows the map and
+reduce phases can prefer *different* cores: the map phase almost always
+favours the little core for energy while memory-bound reduces (NB, GP,
+TS) favour the big core.  The paper stops at "this experiment will help
+guiding scheduling decision such as the choice of the core to run map or
+reduce phase"; this module takes that step: it runs a job on a *mixed*
+big+little cluster with each MapReduce phase pinned to one machine type
+and compares every placement against the homogeneous baselines.
+
+Placements are named ``"<map-type>/<reduce-type>"``; ``"atom/xeon"`` is
+the characterization-implied choice for the memory-bound-reduce apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..arch.presets import ATOM_C2758, XEON_E5_2420, MachineSpec
+from ..cluster.server import Cluster
+from ..mapreduce.config import DEFAULT_CONF, JobConf
+from ..mapreduce.driver import GB, HadoopJobRunner, JobResult
+from ..sim.engine import Simulator
+from ..workloads.base import WorkloadSpec, workload
+from .metrics import edp
+
+__all__ = ["PhasePlacementResult", "simulate_phase_scheduled_job",
+           "compare_phase_placements", "best_phase_placement",
+           "PHASE_PLACEMENTS"]
+
+#: The four placements compared: homogeneous baselines plus both splits.
+PHASE_PLACEMENTS: Tuple[str, ...] = (
+    "atom/atom", "xeon/xeon", "atom/xeon", "xeon/atom")
+
+
+@dataclass(frozen=True)
+class PhasePlacementResult:
+    """Outcome of one phase placement on the mixed cluster."""
+
+    placement: str
+    execution_time_s: float
+    dynamic_energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return edp(self.dynamic_energy_j, self.execution_time_s)
+
+
+def _parse_placement(placement: str) -> Tuple[str, str]:
+    try:
+        map_machine, reduce_machine = placement.split("/")
+    except ValueError:
+        raise ValueError(
+            f"placement must look like 'atom/xeon', got {placement!r}"
+        ) from None
+    for name in (map_machine, reduce_machine):
+        if name not in ("atom", "xeon"):
+            raise ValueError(f"unknown machine type {name!r} in placement")
+    return map_machine, reduce_machine
+
+
+def simulate_phase_scheduled_job(
+        workload_spec: Union[str, WorkloadSpec], placement: str, *,
+        xeon_nodes: int = 2, atom_nodes: int = 2, freq_ghz: float = 1.8,
+        block_size_mb: Optional[float] = None,
+        data_per_node_gb: float = 1.0,
+        conf: JobConf = DEFAULT_CONF) -> JobResult:
+    """Run a job on a mixed cluster with per-phase machine pinning.
+
+    The cluster always contains both pools (so every placement pays the
+    same idle floor and sees the same aggregate hardware); *placement*
+    decides which pool hosts the maps and which hosts the reduces.
+    ``data_per_node_gb`` is interpreted against the pool that runs the
+    map phase, keeping the input size identical across placements.
+    """
+    map_machine, reduce_machine = _parse_placement(placement)
+    wspec = (workload(workload_spec) if isinstance(workload_spec, str)
+             else workload_spec)
+    if block_size_mb is not None:
+        conf = conf.with_block_size_mb(block_size_mb)
+    sim = Simulator()
+    cluster = Cluster.heterogeneous(sim, [
+        {"spec": XEON_E5_2420, "n_nodes": xeon_nodes, "freq_ghz": freq_ghz},
+        {"spec": ATOM_C2758, "n_nodes": atom_nodes, "freq_ghz": freq_ghz},
+    ])
+    map_pool = xeon_nodes if map_machine == "xeon" else atom_nodes
+    total_bytes = data_per_node_gb * GB * map_pool
+    runner = HadoopJobRunner(
+        cluster, wspec, conf,
+        data_per_node_bytes=total_bytes / len(cluster.nodes),
+        map_machines={map_machine},
+        reduce_machines={reduce_machine})
+    return runner.run()
+
+
+def compare_phase_placements(
+        workload_spec: Union[str, WorkloadSpec],
+        placements: Sequence[str] = PHASE_PLACEMENTS,
+        **kwargs) -> Dict[str, PhasePlacementResult]:
+    """Run every placement; returns placement → result."""
+    out: Dict[str, PhasePlacementResult] = {}
+    for placement in placements:
+        result = simulate_phase_scheduled_job(workload_spec, placement,
+                                              **kwargs)
+        out[placement] = PhasePlacementResult(
+            placement=placement,
+            execution_time_s=result.execution_time_s,
+            dynamic_energy_j=result.dynamic_energy_j)
+    return out
+
+
+def best_phase_placement(workload_spec: Union[str, WorkloadSpec],
+                         metric: str = "edp", **kwargs
+                         ) -> PhasePlacementResult:
+    """The placement minimizing ``"edp"`` or ``"time"``."""
+    results = compare_phase_placements(workload_spec, **kwargs)
+    if metric == "edp":
+        return min(results.values(), key=lambda r: r.edp)
+    if metric == "time":
+        return min(results.values(), key=lambda r: r.execution_time_s)
+    raise ValueError(f"unknown metric {metric!r}; use 'edp' or 'time'")

@@ -1,0 +1,8 @@
+"""HDFS substrate: blocks, placement, simulated data path."""
+
+from .blocks import MB, PAPER_BLOCK_SIZES_MB, Block, split_input
+from .filesystem import HDFS
+from .namenode import NameNode
+
+__all__ = ["MB", "PAPER_BLOCK_SIZES_MB", "Block", "split_input", "HDFS",
+           "NameNode"]

@@ -1,0 +1,213 @@
+"""HDFS facade: block reads and replicated writes as DES processes.
+
+Ties the NameNode's placement metadata to the cluster's disk, NIC and
+I/O-path resources.  Every byte that crosses a node's storage or network
+boundary also transits that node's *I/O path* — the CPU-coupled
+kernel/JVM machinery (checksumming, serialization, buffer copies) whose
+node-level throughput scales with core frequency.  On the big core this
+path is far faster than the disk and never binds; on the little core it
+*is* the bottleneck for I/O-heavy jobs, which is how the model reproduces
+the paper's large Sort gap (§3.1.1).
+
+All byte-moving methods are generators to be driven by a simulation
+process (``yield from hdfs.read_block(...)``); they record the activity
+intervals the power model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cluster.server import Cluster, ServerNode
+from ..sim.engine import Simulator
+from .blocks import Block, split_input
+from .namenode import NameNode
+
+__all__ = ["HDFS"]
+
+
+class HDFS:
+    """A simulated HDFS instance over a cluster."""
+
+    def __init__(self, cluster: Cluster, block_size_bytes: float,
+                 replication: int = 3, seed: int = 7,
+                 page_cache_hit: float = 0.0):
+        if block_size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if not 0.0 <= page_cache_hit < 1.0:
+            raise ValueError("page-cache hit fraction must be in [0, 1)")
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.block_size_bytes = block_size_bytes
+        #: Fraction of disk traffic absorbed by the OS page cache (reads
+        #: served from cache, writes deferred to background writeback).
+        #: Small datasets on 8 GB nodes are largely cache-resident, which
+        #: is why the big core looks so good at 1 GB/node and
+        #: progressively loses that edge as data outgrows DRAM (the
+        #: paper's §3.3 data-size observation, most visible for Sort).
+        self.page_cache_hit = page_cache_hit
+        self.namenode = NameNode([n.name for n in cluster.nodes],
+                                 replication=replication, seed=seed)
+
+    # -- metadata -----------------------------------------------------------
+    def load_input(self, file: str, total_bytes: float) -> List[Block]:
+        """Pre-load an input file (no simulated time passes).
+
+        Mirrors the paper's methodology: datasets are staged into HDFS
+        before the measured run starts.
+        """
+        blocks = split_input(file, total_bytes, self.block_size_bytes)
+        return self.namenode.register_file(file, blocks)
+
+    def num_map_tasks(self, file: str) -> int:
+        """The §3.1.1 law: one map task per block."""
+        return len(self.namenode.blocks_of(file))
+
+    # -- primitive legs -------------------------------------------------------
+    def _record(self, node: ServerNode, device: str, nbytes: float,
+                end: float, kind: str, task_id: Optional[str],
+                phase: str) -> None:
+        dev = node.disk if device == "disk" else node.nic
+        duration = dev.service_time(nbytes)
+        self.cluster.trace.add(end - duration, end, node.name, device, kind,
+                               activity=1.0, task_id=task_id, phase=phase)
+
+    def _disk_leg(self, node: ServerNode, nbytes: float, kind: str,
+                  task_id: Optional[str], phase: str,
+                  is_read: bool = False) -> Generator:
+        nbytes *= (1.0 - self.page_cache_hit)
+        if nbytes <= 0:
+            return
+        yield from node.disk.transfer(nbytes)
+        self._record(node, "disk", nbytes, self.sim.now, kind, task_id, phase)
+
+    def _nic_leg(self, node: ServerNode, nbytes: float, kind: str,
+                 task_id: Optional[str], phase: str) -> Generator:
+        yield from node.nic.transfer(nbytes)
+        self._record(node, "nic", nbytes, self.sim.now, kind, task_id, phase)
+
+    def _iopath_leg(self, node: ServerNode, nbytes: float,
+                    task_id: Optional[str], phase: str) -> Generator:
+        """CPU-coupled I/O-path transit at *node* for *nbytes*."""
+        yield from node.iopath.transfer(nbytes)
+        duration = node.iopath.service_time(nbytes)
+        self.cluster.trace.add(self.sim.now - duration, self.sim.now,
+                               node.name, "fw", "iopath", activity=1.0,
+                               task_id=task_id, phase=phase)
+
+    def _with_iopath(self, nodes: List[ServerNode], nbytes: float,
+                     legs: Generator, task_id: Optional[str],
+                     phase: str, io_factor: float = 1.0) -> Generator:
+        """Run device legs concurrently with each node's I/O-path transit.
+
+        The device chain and the CPU path pipeline against each other, so
+        the elapsed time is the max of the two (plus queueing on both).
+        """
+        procs = [self.sim.process(legs)]
+        for node in nodes:
+            procs.append(self.sim.process(
+                self._iopath_leg(node, nbytes * io_factor, task_id, phase)))
+        yield self.sim.all_of(procs)
+
+    # -- data path ------------------------------------------------------------
+    def read_span(self, source_name: str, reader: ServerNode, nbytes: float,
+                  task_id: Optional[str] = None, phase: str = "map",
+                  io_factor: float = 1.0) -> Generator:
+        """Read *nbytes* of a replica on *source_name* from *reader*.
+
+        Local reads hit the local disk; remote reads pay the source disk
+        plus both NICs.  Returns elapsed seconds.
+        """
+        start = self.sim.now
+        if source_name == reader.name:
+            legs = self._disk_leg(reader, nbytes, "hdfs.read", task_id, phase,
+                                  is_read=True)
+            yield from self._with_iopath([reader], nbytes, legs, task_id,
+                                         phase, io_factor)
+        else:
+            source = self.cluster.node(source_name)
+
+            def _remote():
+                yield from self._disk_leg(source, nbytes, "hdfs.read.remote",
+                                          task_id, phase, is_read=True)
+                yield from self._nic_leg(source, nbytes, "hdfs.xmit",
+                                         task_id, phase)
+                yield from self._nic_leg(reader, nbytes, "hdfs.recv",
+                                         task_id, phase)
+
+            yield from self._with_iopath([source, reader], nbytes, _remote(),
+                                         task_id, phase, io_factor)
+        return self.sim.now - start
+
+    def read_block(self, block: Block, reader: ServerNode,
+                   task_id: Optional[str] = None, phase: str = "map",
+                   io_factor: float = 1.0) -> Generator:
+        """Read one whole block on *reader*; returns elapsed seconds."""
+        source = self.namenode.pick_replica(block, reader.name)
+        elapsed = yield from self.read_span(source, reader, block.size_bytes,
+                                            task_id=task_id, phase=phase,
+                                            io_factor=io_factor)
+        return elapsed
+
+    def read_local(self, node: ServerNode, nbytes: float,
+                   task_id: Optional[str] = None, phase: str = "map",
+                   kind: str = "local.read", io_factor: float = 1.0
+                   ) -> Generator:
+        """Read *nbytes* from the node's local disk (spill merges etc.)."""
+        legs = self._disk_leg(node, nbytes, kind, task_id, phase,
+                              is_read=True)
+        yield from self._with_iopath([node], nbytes, legs, task_id, phase,
+                                     io_factor)
+        return None
+
+    def write_local(self, node: ServerNode, nbytes: float,
+                    task_id: Optional[str] = None, phase: str = "map",
+                    kind: str = "local.write", io_factor: float = 1.0
+                    ) -> Generator:
+        """Write *nbytes* to local disk (map outputs, spills)."""
+        legs = self._disk_leg(node, nbytes, kind, task_id, phase)
+        yield from self._with_iopath([node], nbytes, legs, task_id, phase,
+                                     io_factor)
+        return None
+
+    def write(self, file_hint: str, nbytes: float, writer: ServerNode,
+              task_id: Optional[str] = None, phase: str = "reduce",
+              io_factor: float = 1.0, replication: Optional[int] = None
+              ) -> Generator:
+        """Replicated HDFS write from *writer*; returns elapsed seconds.
+
+        The replication pipeline streams, so the local write and the
+        remote legs proceed concurrently; completion waits for all.
+        """
+        start = self.sim.now
+        placed = self.namenode.place_block(
+            Block(file_hint, 0, nbytes), writer=writer.name)
+        n_replicas = (replication if replication is not None
+                      else self.namenode.replication)
+        replica_names = list(placed.replicas[:max(1, n_replicas)])
+
+        def _local():
+            legs = self._disk_leg(writer, nbytes, "hdfs.write", task_id,
+                                  phase)
+            yield from self._with_iopath([writer], nbytes, legs, task_id,
+                                         phase, io_factor)
+
+        def _remote(target_name: str):
+            target = self.cluster.node(target_name)
+
+            def _legs():
+                yield from self._nic_leg(writer, nbytes, "hdfs.repl.xmit",
+                                         task_id, phase)
+                yield from self._nic_leg(target, nbytes, "hdfs.repl.recv",
+                                         task_id, phase)
+                yield from self._disk_leg(target, nbytes, "hdfs.repl.write",
+                                          task_id, phase)
+
+            yield from self._with_iopath([target], nbytes, _legs(), task_id,
+                                         phase, io_factor)
+
+        procs = [self.sim.process(_local())]
+        for name in replica_names[1:]:
+            procs.append(self.sim.process(_remote(name)))
+        yield self.sim.all_of(procs)
+        return self.sim.now - start

@@ -1,0 +1,96 @@
+"""Hadoop job configuration.
+
+Captures the tuning knobs the paper sweeps or holds fixed: the HDFS block
+size (its headline *system-level* parameter), the map-side sort buffer
+``io.sort.mb`` whose overflow causes spills (§3.1.1), slot counts (the
+paper sets mappers = cores in the Table 3 study), and the framework
+overheads (task startup, job setup/cleanup) that dominate at small block
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["MB", "JobConf", "DEFAULT_CONF"]
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class JobConf:
+    """Immutable job configuration; derive variants with :meth:`override`.
+
+    Attributes:
+        block_size_bytes: HDFS block size — determines map task count.
+        io_sort_bytes: map-side sort buffer (``io.sort.mb``); map outputs
+            larger than this spill to disk in multiple rounds.
+        merge_memory_bytes: reduce-side merge buffer; shuffled partitions
+            larger than this take an extra disk round trip.
+        merge_factor: streams merged per merge round (``io.sort.factor``).
+        replication: HDFS replication factor.
+        map_slots_per_node: concurrent map tasks per node.  The default
+            of 4 models YARN's memory-driven container count on the
+            paper's 8 GB nodes (8 GB / ~2 GB map containers), not the
+            core count; the Table 3 study overrides it with
+            mappers = cores.
+        reduce_slots_per_node: concurrent reduce tasks per node
+            (None = cores).
+        chunk_bytes: modelling granularity of the read/compute pipeline.
+        task_startup_instructions: framework instructions to launch a task
+            (JVM spawn, localization) — runs at little-core speed on Atom.
+        job_setup_instructions: per-job setup on the master ("others").
+        job_cleanup_instructions: per-job cleanup ("others").
+        heartbeat_s: task-dispatch latency per assignment.
+    """
+
+    block_size_bytes: float = 128 * MB
+    io_sort_bytes: float = 200 * MB
+    merge_memory_bytes: float = 140 * MB
+    merge_factor: int = 10
+    replication: int = 3
+    map_slots_per_node: Optional[int] = 4
+    reduce_slots_per_node: Optional[int] = None
+    chunk_bytes: float = 32 * MB
+    task_startup_instructions: float = 5.5e9
+    job_setup_instructions: float = 4.0e9
+    job_cleanup_instructions: float = 3.0e9
+    heartbeat_s: float = 0.25
+
+    def __post_init__(self):
+        if self.block_size_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if self.io_sort_bytes <= 0 or self.merge_memory_bytes <= 0:
+            raise ValueError("buffer sizes must be positive")
+        if self.merge_factor < 2:
+            raise ValueError("merge factor must be >= 2")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if self.heartbeat_s < 0:
+            raise ValueError("heartbeat must be non-negative")
+        for name in ("task_startup_instructions", "job_setup_instructions",
+                     "job_cleanup_instructions"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        for name in ("map_slots_per_node", "reduce_slots_per_node"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 when set")
+
+    @property
+    def block_size_mb(self) -> float:
+        return self.block_size_bytes / MB
+
+    def override(self, **changes) -> "JobConf":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def with_block_size_mb(self, mb: float) -> "JobConf":
+        return self.override(block_size_bytes=mb * MB)
+
+
+#: Hadoop-like defaults used across the study unless a sweep overrides them.
+DEFAULT_CONF = JobConf()

@@ -1,0 +1,415 @@
+"""Job driver: runs a workload on a cluster and accounts the result.
+
+This is the simulated JobTracker/ResourceManager: it splits the input
+into blocks, dispatches map tasks to per-node slots with locality
+preference, runs the reduce phase after the maps (the paper's phase
+breakdowns treat the phases as sequential windows), chains multi-job
+applications (Grep, TeraSort), and finally folds the power model over the
+recorded activity trace.
+
+The public entry point is :func:`simulate_job`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..arch.power import EnergyBreakdown, integrate_energy
+from ..arch.presets import FRAMEWORK_PROFILE, MachineSpec, machine
+from ..cluster.server import Cluster, ServerNode
+from ..hdfs.blocks import Block
+from ..hdfs.filesystem import HDFS
+from ..sim.engine import Simulator
+from ..workloads.base import JobStage, WorkloadSpec, workload
+from .config import DEFAULT_CONF, JobConf
+from .tasks import MapTask, ReduceTask, RunCounters
+
+__all__ = ["StageTiming", "JobResult", "HadoopJobRunner", "simulate_job"]
+
+GB = 1024 ** 3
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock windows of one stage's phases."""
+
+    stage: str
+    setup_s: float = 0.0
+    map_s: float = 0.0
+    reduce_s: float = 0.0
+    cleanup_s: float = 0.0
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+    map_start: float = 0.0
+    reduce_start: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.setup_s + self.map_s + self.reduce_s + self.cleanup_s
+
+
+@dataclass
+class JobResult:
+    """Everything the characterization layer needs from one run."""
+
+    workload: str
+    machine: str
+    n_nodes: int
+    cores_per_node: int
+    freq_ghz: float
+    block_size_mb: float
+    data_per_node_bytes: float
+    execution_time_s: float
+    phase_seconds: Dict[str, float]
+    energy: EnergyBreakdown
+    counters: RunCounters
+    stages: List[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_input_bytes(self) -> float:
+        return self.data_per_node_bytes * self.n_nodes
+
+    @property
+    def dynamic_energy_j(self) -> float:
+        """Dynamic energy — the paper's (avg power − idle) × time."""
+        return self.energy.dynamic_joules
+
+    @property
+    def dynamic_power_w(self) -> float:
+        return self.energy.average_dynamic_watts
+
+    @property
+    def ipc(self) -> float:
+        return self.counters.ipc
+
+    def phase_time(self, phase: str) -> float:
+        return self.phase_seconds.get(phase, 0.0)
+
+    def phase_energy(self, phase: str) -> float:
+        return self.energy.phase_energy(phase)
+
+    def phase_fraction(self, phase: str) -> float:
+        """Share of execution time spent in *phase* (Figs. 10/11)."""
+        if self.execution_time_s <= 0:
+            return 0.0
+        return self.phase_time(phase) / self.execution_time_s
+
+
+class HadoopJobRunner:
+    """Runs one application (possibly multiple chained MR jobs)."""
+
+    def __init__(self, cluster: Cluster, spec: WorkloadSpec, conf: JobConf,
+                 data_per_node_bytes: float,
+                 map_slots_per_node: Optional[int] = None,
+                 reduce_slots_per_node: Optional[int] = None,
+                 map_machines: Optional[Sequence[str]] = None,
+                 reduce_machines: Optional[Sequence[str]] = None):
+        """*map_machines* / *reduce_machines* restrict which machine
+        types (spec names, e.g. ``{"atom"}``) may host tasks of each
+        phase — the phase-aware heterogeneous scheduling the paper's
+        map/reduce characterization motivates (§3.2.2/§3.3).  ``None``
+        allows every node."""
+        if data_per_node_bytes <= 0:
+            raise ValueError("data size must be positive")
+        self.cluster = cluster
+        self._map_machines = set(map_machines) if map_machines else None
+        self._reduce_machines = (set(reduce_machines) if reduce_machines
+                                 else None)
+        for names, role in ((self._map_machines, "map"),
+                            (self._reduce_machines, "reduce")):
+            if names is not None:
+                available = {n.spec.name for n in cluster.nodes}
+                if not names & available:
+                    raise ValueError(
+                        f"no {role} nodes of type {sorted(names)} in the "
+                        f"cluster (available: {sorted(available)})")
+        self.sim: Simulator = cluster.sim
+        self.spec = spec
+        self.conf = conf
+        self.data_per_node_bytes = data_per_node_bytes
+        dram = min(n.spec.dram_bytes for n in cluster.nodes)
+        cache_hit = min(0.75, 0.75 * dram / max(1.0, data_per_node_bytes * 2))
+        self.hdfs = HDFS(cluster, conf.block_size_bytes,
+                         replication=conf.replication,
+                         page_cache_hit=cache_hit)
+        self.counters = RunCounters()
+        self.stage_timings: List[StageTiming] = []
+        self._map_slots = map_slots_per_node
+        self._reduce_slots = reduce_slots_per_node
+
+    # -- helpers -----------------------------------------------------------
+    def _framework(self, node: ServerNode, instructions: float, kind: str):
+        """Run framework code on *node* (job setup/cleanup, 'other' phase)."""
+        perf = node.core_perf(FRAMEWORK_PROFILE)
+        seconds = perf.seconds_for(instructions)
+        start = self.sim.now
+        yield self.sim.timeout(seconds)
+        self.cluster.trace.add(start, self.sim.now, node.name, "fw", kind,
+                               activity=1.0, phase="other")
+        self.counters.charge(instructions, seconds * node.freq_hz)
+
+    def _map_worker(self, node: ServerNode,
+                    queues: Dict[str, Deque[Block]],
+                    stage: JobStage, stage_index: int,
+                    map_out: Dict[str, float]):
+        """One map slot: drain the node's own queue, then steal."""
+        while True:
+            block = self._claim(queues, node.name)
+            if block is None:
+                break
+            if self.conf.heartbeat_s > 0:
+                yield self.sim.timeout(self.conf.heartbeat_s)
+            task_id = f"s{stage_index}.m{block.index}"
+            task = MapTask(task_id, node, self.hdfs, stage, self.conf,
+                           self.counters, block)
+            yield from task.run()
+            map_out[node.name] = map_out.get(node.name, 0.0) + task.output_bytes
+
+    @staticmethod
+    def _claim(queues: Dict[str, Deque[Block]], node_name: str
+               ) -> Optional[Block]:
+        """Pop from the node's own (primary-replica) queue, else steal.
+
+        Blocks are pre-assigned to their primary replica's node, which is
+        what a locality-aware (delay-scheduling) Hadoop scheduler
+        converges to on a small fully-replicated cluster: each node
+        processes its own data share, which keeps both the input reads
+        and the spill/output I/O balanced.
+        """
+        own = queues.get(node_name)
+        if own:
+            return own.popleft()
+        return None
+
+    def _reduce_worker(self, node: ServerNode,
+                       queue: Deque[Tuple[str, Dict[str, float]]],
+                       stage: JobStage, out_acc: List[float]):
+        while queue:
+            task_id, sources = queue.popleft()
+            if self.conf.heartbeat_s > 0:
+                yield self.sim.timeout(self.conf.heartbeat_s)
+            task = ReduceTask(task_id, node, self.hdfs, stage, self.conf,
+                              self.counters, sources)
+            yield from task.run()
+            out_acc.append(task.output_bytes)
+
+    # -- stage execution ------------------------------------------------------
+    def _run_stage(self, stage: JobStage, stage_index: int,
+                   input_bytes: float):
+        """Process generator executing one MR job; returns output bytes."""
+        timing = StageTiming(stage=stage.name, input_bytes=input_bytes)
+        self.stage_timings.append(timing)
+        master = self.cluster.nodes[0]
+
+        # Job setup ("others" in the breakdown figures).
+        t0 = self.sim.now
+        yield from self._framework(master, self.conf.job_setup_instructions,
+                                   f"{stage.name}.setup")
+        timing.setup_s = self.sim.now - t0
+
+        # Input placement: instantaneous, mirrors pre-staged datasets.
+        file = f"{self.spec.name}.s{stage_index}.in"
+        blocks = self.hdfs.load_input(file, input_bytes)
+
+        # Map phase: blocks queue at their primary replica's node when
+        # that node may host maps; otherwise they round-robin over the
+        # eligible nodes (phase-aware placement trades locality for the
+        # preferred core type, paying the remote-read cost).
+        t_map = self.sim.now
+        timing.map_start = t_map
+        map_nodes = [n for n in self.cluster.nodes
+                     if self._map_machines is None
+                     or n.spec.name in self._map_machines]
+        eligible = {n.name for n in map_nodes}
+        queues: Dict[str, Deque[Block]] = {n.name: deque()
+                                           for n in map_nodes}
+        spill = 0
+        for block in blocks:
+            primary = block.replicas[0] if block.replicas else (
+                map_nodes[0].name)
+            if primary in eligible:
+                queues[primary].append(block)
+            else:
+                queues[map_nodes[spill % len(map_nodes)].name].append(block)
+                spill += 1
+        map_out: Dict[str, float] = {}
+        workers = []
+        for node in map_nodes:
+            slots = (self._map_slots or self.conf.map_slots_per_node
+                     or node.n_cores)
+            for _ in range(min(slots, node.n_cores)):
+                workers.append(self.sim.process(
+                    self._map_worker(node, queues, stage, stage_index,
+                                     map_out)))
+        yield self.sim.all_of(workers)
+        timing.map_s = self.sim.now - t_map
+
+        # Reduce phase.
+        total_map_out = sum(map_out.values())
+        if stage.has_reduce and total_map_out > 0:
+            t_red = self.sim.now
+            timing.reduce_start = t_red
+            # Reducer count is provisioned with the container capacity
+            # (YARN sizes the reduce wave to the cluster): the workload's
+            # reduces_per_node is calibrated for the default four slots.
+            reduce_nodes = [n for n in self.cluster.nodes
+                            if self._reduce_machines is None
+                            or n.spec.name in self._reduce_machines]
+            node0 = reduce_nodes[0]
+            slots0 = min(self._map_slots or self.conf.map_slots_per_node
+                         or node0.n_cores, node0.n_cores)
+            n_red = max(1, round(stage.reduces_per_node
+                                 * len(reduce_nodes) * slots0 / 4.0))
+            share = {name: nbytes / n_red for name, nbytes in map_out.items()}
+            rqueues: Dict[str, Deque] = {n.name: deque()
+                                         for n in reduce_nodes}
+            for r in range(n_red):
+                node = reduce_nodes[r % len(reduce_nodes)]
+                rqueues[node.name].append((f"s{stage_index}.r{r}", share))
+            out_acc: List[float] = []
+            rworkers = []
+            for node in reduce_nodes:
+                slots = (self._reduce_slots
+                         or self.conf.reduce_slots_per_node or node.n_cores)
+                for _ in range(min(slots, node.n_cores)):
+                    rworkers.append(self.sim.process(
+                        self._reduce_worker(node, rqueues[node.name], stage,
+                                            out_acc)))
+            yield self.sim.all_of(rworkers)
+            timing.reduce_s = self.sim.now - t_red
+            stage_output = sum(out_acc)
+        else:
+            # Map-only stage (the paper's Sort): map output is the job
+            # output and goes to HDFS with full replication — the fan-out
+            # below is the dominant extra I/O of such jobs.
+            if total_map_out > 0:
+                t_rep = self.sim.now
+                rep_procs = []
+                for node in self.cluster.nodes:
+                    nbytes = map_out.get(node.name, 0.0)
+                    if nbytes > 0:
+                        rep_procs.append(self.sim.process(self.hdfs.write(
+                            f"{file}.out", nbytes, node, phase="map",
+                            io_factor=stage.io_path_factor,
+                            replication=stage.output_replication)))
+                if rep_procs:
+                    yield self.sim.all_of(rep_procs)
+                timing.map_s += self.sim.now - t_rep
+            stage_output = total_map_out
+
+        # Job cleanup.
+        t1 = self.sim.now
+        yield from self._framework(master, self.conf.job_cleanup_instructions,
+                                   f"{stage.name}.cleanup")
+        timing.cleanup_s = self.sim.now - t1
+        timing.output_bytes = stage_output
+        return stage_output
+
+    def _record_uncore(self, makespan: float) -> None:
+        """Charge the per-node uncore/DRAM job-active floor.
+
+        One interval per node per phase window, so the floor is split
+        across the map/reduce/other phases exactly as wall time is.
+        """
+        windows = []
+        for t in self.stage_timings:
+            if t.map_s > 0:
+                windows.append((t.map_start, t.map_start + t.map_s, "map"))
+            if t.reduce_s > 0:
+                windows.append((t.reduce_start,
+                                t.reduce_start + t.reduce_s, "reduce"))
+        other = makespan - sum(e - s for s, e, _ in windows)
+        if other > 0:
+            windows.append((0.0, other, "other"))
+        for node in self.cluster.nodes:
+            for start, end, phase in windows:
+                self.cluster.trace.add(start, end, node.name, "uncore",
+                                       "job.active", activity=1.0,
+                                       phase=phase)
+
+    def _run_job(self):
+        original = self.data_per_node_bytes * len(self.cluster.nodes)
+        previous = original
+        for index, stage in enumerate(self.spec.stages):
+            source = original if stage.input_source == "original" else previous
+            stage_input = max(1.0, source * stage.input_fraction)
+            previous = yield from self._run_stage(stage, index, stage_input)
+        return previous
+
+    # -- public ---------------------------------------------------------------
+    def run(self) -> JobResult:
+        done = self.sim.process(self._run_job())
+        self.sim.run()
+        if not done.ok:
+            raise RuntimeError("job process failed")
+        execution_time = self.sim.now
+        self._record_uncore(execution_time)
+        energy = integrate_energy(self.cluster.trace,
+                                  self.cluster.node_power(),
+                                  makespan=execution_time)
+        phase_seconds = {
+            "map": sum(t.map_s for t in self.stage_timings),
+            "reduce": sum(t.reduce_s for t in self.stage_timings),
+        }
+        phase_seconds["other"] = max(
+            0.0, execution_time - phase_seconds["map"] - phase_seconds["reduce"])
+        node0 = self.cluster.nodes[0]
+        return JobResult(
+            workload=self.spec.name,
+            machine=node0.spec.name,
+            n_nodes=len(self.cluster.nodes),
+            cores_per_node=node0.n_cores,
+            freq_ghz=node0.freq_ghz,
+            block_size_mb=self.conf.block_size_mb,
+            data_per_node_bytes=self.data_per_node_bytes,
+            execution_time_s=execution_time,
+            phase_seconds=phase_seconds,
+            energy=energy,
+            counters=self.counters,
+            stages=self.stage_timings,
+        )
+
+
+def simulate_job(machine_spec: Union[str, MachineSpec],
+                 workload_spec: Union[str, WorkloadSpec], *,
+                 n_nodes: int = 3,
+                 freq_ghz: float = 1.8,
+                 block_size_mb: Optional[float] = None,
+                 data_per_node_gb: float = 1.0,
+                 cores_per_node: Optional[int] = None,
+                 conf: JobConf = DEFAULT_CONF,
+                 map_slots_per_node: Optional[int] = None,
+                 reduce_slots_per_node: Optional[int] = None) -> JobResult:
+    """Run one Hadoop application on a fresh homogeneous cluster.
+
+    This is the reproduction's workhorse: every figure and table runs
+    through it (directly or via the sweep harness).
+
+    Args:
+        machine_spec: ``"atom"`` / ``"xeon"`` or a :class:`MachineSpec`.
+        workload_spec: registered workload name or a :class:`WorkloadSpec`.
+        n_nodes: cluster size (the paper uses 3).
+        freq_ghz: core frequency operating point.
+        block_size_mb: HDFS block size; defaults to ``conf``'s value.
+        data_per_node_gb: input data per node (the paper's 1/10/20 GB).
+        cores_per_node: active cores per node (Table 3's M sweep);
+            defaults to the machine's full core count.
+        conf: base job configuration.
+        map_slots_per_node / reduce_slots_per_node: slot overrides;
+            default to the active core count (mappers = cores, §3.5).
+    """
+    mspec = machine(machine_spec) if isinstance(machine_spec, str) else machine_spec
+    wspec = workload(workload_spec) if isinstance(workload_spec, str) else workload_spec
+    if block_size_mb is not None:
+        conf = conf.with_block_size_mb(block_size_mb)
+    sim = Simulator()
+    cluster = Cluster.homogeneous(sim, mspec, n_nodes, freq_ghz,
+                                  cores_per_node=cores_per_node)
+    runner = HadoopJobRunner(cluster, wspec, conf,
+                             data_per_node_gb * GB,
+                             map_slots_per_node=map_slots_per_node,
+                             reduce_slots_per_node=reduce_slots_per_node)
+    return runner.run()

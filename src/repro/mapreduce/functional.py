@@ -1,0 +1,207 @@
+"""Functional (really-executing) MapReduce runtime.
+
+The cluster simulator answers *how long and how much energy*; this module
+answers *what* — it actually runs the applications' map/reduce functions
+on real records, with the same structural features the timing model
+charges for: input splits, a bounded map-side sort buffer that spills,
+combiners, hash/range partitioners, per-reducer sorted groups.
+
+The two layers are linked: the functional runtime reports measured data
+selectivities (output/input ratios, spill counts) that tests compare
+against the :class:`~repro.workloads.base.JobStage` ratios driving the
+performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Generic, Hashable, Iterable,
+                    Iterator, List, Optional, Sequence, Tuple, TypeVar)
+
+__all__ = ["FunctionalJob", "JobStats", "LocalRuntime", "hash_partitioner",
+           "identity_mapper", "identity_reducer", "run_pipeline"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+Pair = Tuple[Any, Any]
+Mapper = Callable[[Any, Any], Iterable[Pair]]
+Reducer = Callable[[Any, List[Any]], Iterable[Pair]]
+Partitioner = Callable[[Any, int], int]
+
+
+def hash_partitioner(key: Any, num_reducers: int) -> int:
+    """Hadoop's default partitioner (stable across runs for common keys)."""
+    return hash(key) % num_reducers
+
+
+def identity_mapper(key: Any, value: Any) -> Iterable[Pair]:
+    """Emit the record unchanged (the Sort benchmark's mapper)."""
+    yield (key, value)
+
+
+def identity_reducer(key: Any, values: List[Any]) -> Iterable[Pair]:
+    """Emit every value unchanged."""
+    for value in values:
+        yield (key, value)
+
+
+@dataclass
+class FunctionalJob:
+    """One MapReduce job: user functions plus structural knobs."""
+
+    name: str
+    mapper: Mapper
+    reducer: Optional[Reducer] = None
+    combiner: Optional[Reducer] = None
+    partitioner: Partitioner = hash_partitioner
+    num_reducers: int = 2
+
+    def __post_init__(self):
+        if self.num_reducers < 1:
+            raise ValueError(f"{self.name}: need at least one reducer")
+
+
+@dataclass
+class JobStats:
+    """Measured structural statistics of one executed job."""
+
+    input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    spills: int = 0
+    shuffle_records: int = 0
+    output_records: int = 0
+
+    @property
+    def map_selectivity(self) -> float:
+        """Map output records per input record (the model's ratio analogue)."""
+        if self.input_records == 0:
+            return 0.0
+        return self.map_output_records / self.input_records
+
+    @property
+    def reduce_selectivity(self) -> float:
+        if self.shuffle_records == 0:
+            return 0.0
+        return self.output_records / self.shuffle_records
+
+
+class LocalRuntime:
+    """Executes :class:`FunctionalJob` over in-memory records.
+
+    Args:
+        num_mappers: input splits / concurrent-map analogue.
+        sort_buffer_records: map-side buffer capacity; each overflow is a
+            spill (sorted, combined) — mirroring ``io.sort.mb``.
+    """
+
+    def __init__(self, num_mappers: int = 4, sort_buffer_records: int = 10000):
+        if num_mappers < 1:
+            raise ValueError("need at least one mapper")
+        if sort_buffer_records < 1:
+            raise ValueError("sort buffer must hold at least one record")
+        self.num_mappers = num_mappers
+        self.sort_buffer_records = sort_buffer_records
+
+    # -- phases ----------------------------------------------------------
+    def _split(self, records: Sequence[Pair]) -> List[Sequence[Pair]]:
+        n = max(1, len(records) // self.num_mappers
+                + (1 if len(records) % self.num_mappers else 0))
+        return [records[i:i + n] for i in range(0, len(records), n)] or [[]]
+
+    def _run_mapper(self, job: FunctionalJob, split: Sequence[Pair],
+                    stats: JobStats) -> List[List[Pair]]:
+        """Map one split; returns per-reducer sorted spill-merged output."""
+        partitions: List[List[Pair]] = [[] for _ in range(job.num_reducers)]
+        buffer: List[Pair] = []
+
+        def flush():
+            if not buffer:
+                return
+            stats.spills += 1
+            buffer.sort(key=lambda kv: _sort_key(kv[0]))
+            grouped = _group_sorted(buffer)
+            for key, values in grouped:
+                if job.combiner is not None:
+                    pairs = list(job.combiner(key, values))
+                    stats.combine_output_records += len(pairs)
+                else:
+                    pairs = [(key, v) for v in values]
+                for pair in pairs:
+                    partitions[job.partitioner(pair[0], job.num_reducers)
+                               ].append(pair)
+            buffer.clear()
+
+        for key, value in split:
+            stats.input_records += 1
+            for out in job.mapper(key, value):
+                if not isinstance(out, tuple) or len(out) != 2:
+                    raise TypeError(
+                        f"{job.name}: mapper must emit (key, value) pairs, "
+                        f"got {out!r}")
+                stats.map_output_records += 1
+                buffer.append(out)
+                if len(buffer) >= self.sort_buffer_records:
+                    flush()
+        flush()
+        return partitions
+
+    def run(self, job: FunctionalJob, records: Sequence[Pair]
+            ) -> Tuple[List[Pair], JobStats]:
+        """Run *job* over *records*; returns (sorted output, stats)."""
+        stats = JobStats()
+        splits = self._split(list(records))
+        per_reducer: List[List[Pair]] = [[] for _ in range(job.num_reducers)]
+        for split in splits:
+            partitions = self._run_mapper(job, split, stats)
+            for r, pairs in enumerate(partitions):
+                per_reducer[r].extend(pairs)
+
+        output: List[Pair] = []
+        for r in range(job.num_reducers):
+            pairs = per_reducer[r]
+            stats.shuffle_records += len(pairs)
+            pairs.sort(key=lambda kv: _sort_key(kv[0]))
+            if job.reducer is None:
+                output.extend(pairs)
+                stats.output_records += len(pairs)
+                continue
+            for key, values in _group_sorted(pairs):
+                for out in job.reducer(key, values):
+                    output.append(out)
+                    stats.output_records += 1
+        return output, stats
+
+
+def run_pipeline(runtime: LocalRuntime, jobs: Sequence[FunctionalJob],
+                 records: Sequence[Pair]
+                 ) -> Tuple[List[Pair], List[JobStats]]:
+    """Chain jobs: each job's output is the next job's input (Grep etc.)."""
+    stats_list: List[JobStats] = []
+    current: Sequence[Pair] = records
+    for job in jobs:
+        current, stats = runtime.run(job, current)
+        stats_list.append(stats)
+    return list(current), stats_list
+
+
+# -- internals ---------------------------------------------------------------
+
+def _sort_key(key: Any):
+    """Total order across mixed key types (type name first, then value)."""
+    return (type(key).__name__, key)
+
+
+def _group_sorted(pairs: Sequence[Pair]) -> Iterator[Tuple[Any, List[Any]]]:
+    """Group a key-sorted pair list into (key, [values]) runs."""
+    index = 0
+    n = len(pairs)
+    while index < n:
+        key = pairs[index][0]
+        values = [pairs[index][1]]
+        index += 1
+        while index < n and pairs[index][0] == key:
+            values.append(pairs[index][1])
+            index += 1
+        yield key, values

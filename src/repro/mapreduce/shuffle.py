@@ -1,0 +1,111 @@
+"""Map-side spill/merge planning and reduce-side merge planning.
+
+The spill mechanism is the paper's explanation for WordCount's slowdown
+at 512 MB blocks (§3.1.1): a large block produces more map output than
+the ``io.sort.mb`` buffer holds, so the task spills several sorted runs
+to disk and must read them back to merge — extra I/O *and* extra CPU per
+input byte, growing with the block size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SpillPlan", "plan_spills", "MergePlan", "plan_reduce_merge"]
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """I/O and CPU bill for sorting one map task's output.
+
+    Attributes:
+        output_bytes: map output size.
+        n_spills: sorted runs written (>= 1; the final output always hits
+            local disk so the reducers can fetch it).
+        merge_rounds: extra read+write passes needed to merge the runs
+            down to one file with the configured merge factor.
+        disk_write_bytes: total bytes written (spills + merge passes).
+        disk_read_bytes: total bytes read back during merging.
+        sort_instructions: CPU instructions for sorting and merging.
+    """
+
+    output_bytes: float
+    n_spills: int
+    merge_rounds: int
+    disk_write_bytes: float
+    disk_read_bytes: float
+    sort_instructions: float
+
+
+def plan_spills(output_bytes: float, io_sort_bytes: float, sort_ipb: float,
+                merge_factor: int = 10) -> SpillPlan:
+    """Plan the map-side sort for *output_bytes* of map output.
+
+    Model: the buffer holds ``io_sort_bytes``; every fill is sorted and
+    spilled.  With ``n`` spills, merging needs
+    ``ceil(log_merge_factor(n))`` passes, each re-reading and re-writing
+    the full output.  Sort CPU grows with the number of merge passes
+    (each pass compares every byte again).
+    """
+    if output_bytes < 0:
+        raise ValueError("output size must be non-negative")
+    if io_sort_bytes <= 0:
+        raise ValueError("sort buffer must be positive")
+    if sort_ipb < 0:
+        raise ValueError("sort instruction density must be non-negative")
+    if merge_factor < 2:
+        raise ValueError("merge factor must be >= 2")
+    if output_bytes == 0:
+        return SpillPlan(0.0, 0, 0, 0.0, 0.0, 0.0)
+    n_spills = max(1, math.ceil(output_bytes / io_sort_bytes))
+    merge_rounds = 0
+    runs = n_spills
+    while runs > 1:
+        merge_rounds += 1
+        runs = math.ceil(runs / merge_factor)
+    disk_write = output_bytes * (1 + merge_rounds)
+    disk_read = output_bytes * merge_rounds
+    sort_instr = output_bytes * sort_ipb * (1 + 0.6 * merge_rounds)
+    return SpillPlan(
+        output_bytes=output_bytes,
+        n_spills=n_spills,
+        merge_rounds=merge_rounds,
+        disk_write_bytes=disk_write,
+        disk_read_bytes=disk_read,
+        sort_instructions=sort_instr,
+    )
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """I/O and CPU bill for merging one reducer's shuffled partition."""
+
+    partition_bytes: float
+    spills_to_disk: bool
+    disk_write_bytes: float
+    disk_read_bytes: float
+    merge_instructions: float
+
+
+def plan_reduce_merge(partition_bytes: float, merge_memory_bytes: float,
+                      sort_ipb: float) -> MergePlan:
+    """Plan the reduce-side merge for a shuffled partition.
+
+    Partitions that fit the in-memory merge buffer are merged in place;
+    larger ones take one on-disk round trip, the dominant effect at the
+    paper's data sizes.
+    """
+    if partition_bytes < 0:
+        raise ValueError("partition size must be non-negative")
+    if merge_memory_bytes <= 0:
+        raise ValueError("merge memory must be positive")
+    spills = partition_bytes > merge_memory_bytes
+    overflow = max(0.0, partition_bytes - merge_memory_bytes)
+    return MergePlan(
+        partition_bytes=partition_bytes,
+        spills_to_disk=spills,
+        disk_write_bytes=overflow,
+        disk_read_bytes=overflow,
+        merge_instructions=partition_bytes * sort_ipb,
+    )

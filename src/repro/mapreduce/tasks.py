@@ -1,0 +1,311 @@
+"""Map and reduce task models.
+
+Each task is a DES process that moves real byte counts through the
+cluster's disk/NIC resources and charges CPU time through the analytical
+core model.  The central mechanism is the *overlap credit* of the
+read/compute pipeline: per chunk the task pays
+
+    t_disk + max(0, t_cpu − io_overlap · t_disk)
+
+where ``io_overlap`` is a property of the core (§DESIGN.md note 2): a big
+OoO core with aggressive read-ahead hides most I/O behind compute and is
+effectively disk-bound on I/O-heavy jobs, while the little core's
+CPU-coupled I/O path makes it compute-bound on the same jobs — the
+mechanism behind the paper's 15.4× Sort gap and Atom's higher frequency
+sensitivity (§3.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from ..arch.cores import CpuProfile, scale_profile
+from ..arch.presets import FRAMEWORK_PROFILE
+from ..cluster.server import ServerNode
+from ..hdfs.blocks import Block
+from ..hdfs.filesystem import HDFS
+from ..workloads.base import IO_PATH_PROFILE, JobStage
+from .config import JobConf
+from .shuffle import plan_reduce_merge, plan_spills
+
+__all__ = ["RunCounters", "MapTask", "ReduceTask"]
+
+#: Residual core activity while a task sits in an I/O wait (OS + polling).
+_WAIT_ACTIVITY = 0.06
+
+#: Partition size at which a reduce profile's working set is 1x.
+_REDUCE_WS_REF_BYTES = 128 * 1024 * 1024
+
+#: Spills and merges move already-serialized bytes on the local disk and
+#: skip HDFS checksumming, so they exert far less pressure on the
+#: CPU-coupled I/O path than HDFS reads/writes of the same size.
+_SPILL_IO_FACTOR = 0.4
+
+
+@dataclass
+class RunCounters:
+    """Whole-run accounting used for IPC and data-flow reporting."""
+
+    instructions: float = 0.0
+    cycles: float = 0.0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    input_bytes: float = 0.0
+    map_output_bytes: float = 0.0
+    spill_bytes: float = 0.0
+    shuffle_bytes: float = 0.0
+    output_bytes: float = 0.0
+    spills: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle across all cores and tasks."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def charge(self, instructions: float, cycles: float) -> None:
+        if instructions < 0 or cycles < 0:
+            raise ValueError("counters only accumulate non-negative work")
+        self.instructions += instructions
+        self.cycles += cycles
+
+
+class _TaskBase:
+    """Shared machinery: compute charging and disk I/O with overlap credit."""
+
+    phase = "other"
+
+    def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
+                 stage: JobStage, conf: JobConf, counters: RunCounters):
+        self.task_id = task_id
+        self.node = node
+        self.hdfs = hdfs
+        self.stage = stage
+        self.conf = conf
+        self.counters = counters
+        self.sim = node.sim
+        self.trace = hdfs.cluster.trace
+
+    # -- CPU ------------------------------------------------------------
+    def _compute(self, profile: CpuProfile, instructions: float, kind: str,
+                 device: str = "core") -> Generator:
+        """Charge pure CPU time for *instructions* of *profile* code."""
+        if instructions <= 0:
+            return None
+        perf = self.node.core_perf(profile)
+        seconds = perf.seconds_for(instructions)
+        start = self.sim.now
+        yield self.sim.timeout(seconds)
+        activity = 1.0 if device == "fw" else perf.activity
+        self.trace.add(start, self.sim.now, self.node.name, device, kind,
+                       activity=activity, task_id=self.task_id,
+                       phase=self.phase)
+        self.counters.charge(instructions, seconds * self.node.freq_hz)
+        return None
+
+    def _io_cpu_bill(self, nbytes: float, user_ipb: float = 0.0,
+                     user_profile: Optional[CpuProfile] = None):
+        """(instructions, cpu_seconds, blended_activity) to process *nbytes*.
+
+        Combines the framework I/O path (checksum/deserialize, scaled by
+        the core's ``io_path_overhead``) with optional user code.
+        """
+        core = self.node.spec.core
+        io_instr = nbytes * self.stage.io_ipb * core.io_path_overhead
+        io_perf = self.node.core_perf(IO_PATH_PROFILE)
+        t_io = io_perf.seconds_for(io_instr)
+        instr = io_instr
+        t_cpu = t_io
+        act_weight = t_io * io_perf.activity
+        if user_ipb > 0 and user_profile is not None:
+            user_instr = nbytes * user_ipb
+            user_perf = self.node.core_perf(user_profile)
+            t_user = user_perf.seconds_for(user_instr)
+            instr += user_instr
+            t_cpu += t_user
+            act_weight += t_user * user_perf.activity
+        activity = act_weight / t_cpu if t_cpu > 0 else 0.0
+        return instr, t_cpu, activity
+
+    def _overlapped_io(self, transfer: Generator, nbytes: float, kind: str,
+                       user_ipb: float = 0.0,
+                       user_profile: Optional[CpuProfile] = None
+                       ) -> Generator:
+        """Run a byte transfer and its CPU bill with overlap credit.
+
+        *transfer* is a generator moving *nbytes* (disk and/or NIC); the
+        CPU cost of processing those bytes is partially hidden behind the
+        transfer according to the core's ``io_overlap``.
+        """
+        core = self.node.spec.core
+        t0 = self.sim.now
+        yield from transfer
+        t_wait = self.sim.now - t0
+        instr, t_cpu, activity = self._io_cpu_bill(nbytes, user_ipb,
+                                                   user_profile)
+        residual = max(0.0, t_cpu - core.io_overlap * t_wait)
+        # Activity during the wait window accounts for the compute that
+        # executed under the transfer, conserving compute energy.
+        hidden = t_cpu - residual
+        if t_wait > 0:
+            wait_act = min(1.0, _WAIT_ACTIVITY + (hidden / t_wait) * activity)
+            self.trace.add(t0, self.sim.now, self.node.name, "core",
+                           kind + ".iowait", activity=wait_act,
+                           task_id=self.task_id, phase=self.phase)
+        if residual > 0:
+            start = self.sim.now
+            yield self.sim.timeout(residual)
+            self.trace.add(start, self.sim.now, self.node.name, "core",
+                           kind + ".compute", activity=activity,
+                           task_id=self.task_id, phase=self.phase)
+        self.counters.charge(instr, t_cpu * self.node.freq_hz)
+        return None
+
+    def _startup(self) -> Generator:
+        """Task launch overhead (JVM spawn, localization, reporting)."""
+        yield from self._compute(FRAMEWORK_PROFILE,
+                                 self.conf.task_startup_instructions,
+                                 f"{self.phase}.startup", device="fw")
+        return None
+
+
+class MapTask(_TaskBase):
+    """One map task processing one HDFS block.
+
+    Lifecycle (while holding a map slot): startup → chunked
+    read+deserialize+map → sort/spill → merge → final output to local
+    disk for the reducers.
+    """
+
+    phase = "map"
+
+    def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
+                 stage: JobStage, conf: JobConf, counters: RunCounters,
+                 block: Block):
+        super().__init__(task_id, node, hdfs, stage, conf, counters)
+        self.block = block
+        self.output_bytes = 0.0
+
+    def run(self) -> Generator:
+        yield from self._startup()
+        source = self.hdfs.namenode.pick_replica(self.block, self.node.name)
+
+        # Chunked read/compute pipeline over the block.
+        remaining = self.block.size_bytes
+        while remaining > 0:
+            chunk = min(self.conf.chunk_bytes, remaining)
+            remaining -= chunk
+            transfer = self.hdfs.read_span(source, self.node, chunk,
+                                           task_id=self.task_id,
+                                           phase=self.phase,
+                                           io_factor=self.stage.io_path_factor)
+            yield from self._overlapped_io(
+                transfer, chunk, "map.read",
+                user_ipb=self.stage.map_ipb,
+                user_profile=self.stage.map_profile)
+        self.counters.input_bytes += self.block.size_bytes
+
+        # Map-side sort, spill and merge.
+        out = self.block.size_bytes * self.stage.map_output_ratio
+        self.output_bytes = out
+        self.counters.map_output_bytes += out
+        if out > 0:
+            plan = plan_spills(out, self.conf.io_sort_bytes,
+                               self.stage.sort_ipb, self.conf.merge_factor)
+            self.counters.spills += plan.n_spills
+            self.counters.spill_bytes += plan.disk_write_bytes
+            yield from self._compute(IO_PATH_PROFILE, plan.sort_instructions,
+                                     "map.sort")
+            if plan.disk_write_bytes > 0:
+                transfer = self.hdfs.write_local(
+                    self.node, plan.disk_write_bytes, task_id=self.task_id,
+                    phase=self.phase, kind="map.spill",
+                    io_factor=self.stage.io_path_factor * _SPILL_IO_FACTOR)
+                yield from self._overlapped_io(transfer,
+                                               plan.disk_write_bytes,
+                                               "map.spill")
+            if plan.disk_read_bytes > 0:
+                transfer = self.hdfs.read_local(
+                    self.node, plan.disk_read_bytes, task_id=self.task_id,
+                    phase=self.phase, kind="map.merge",
+                    io_factor=self.stage.io_path_factor * _SPILL_IO_FACTOR)
+                yield from self._overlapped_io(transfer,
+                                               plan.disk_read_bytes,
+                                               "map.merge")
+        self.counters.map_tasks += 1
+        return self.output_bytes
+
+
+class ReduceTask(_TaskBase):
+    """One reduce task: shuffle → merge → reduce → replicated HDFS write."""
+
+    phase = "reduce"
+
+    def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
+                 stage: JobStage, conf: JobConf, counters: RunCounters,
+                 source_bytes: Dict[str, float]):
+        """*source_bytes*: node name → bytes this reducer fetches from it."""
+        super().__init__(task_id, node, hdfs, stage, conf, counters)
+        self.source_bytes = dict(source_bytes)
+        self.output_bytes = 0.0
+
+    def run(self) -> Generator:
+        yield from self._startup()
+        partition = sum(self.source_bytes.values())
+
+        # Shuffle: fetch each node's contribution (local disk or network).
+        for source_name in sorted(self.source_bytes):
+            nbytes = self.source_bytes[source_name]
+            if nbytes <= 0:
+                continue
+            transfer = self.hdfs.read_span(source_name, self.node, nbytes,
+                                           task_id=self.task_id,
+                                           phase=self.phase,
+                                           io_factor=self.stage.io_path_factor)
+            yield from self._overlapped_io(transfer, nbytes, "shuffle")
+        self.counters.shuffle_bytes += partition
+
+        # Reduce-side merge.
+        merge = plan_reduce_merge(partition, self.conf.merge_memory_bytes,
+                                  self.stage.sort_ipb)
+        yield from self._compute(IO_PATH_PROFILE, merge.merge_instructions,
+                                 "reduce.merge")
+        if merge.disk_write_bytes > 0:
+            transfer = self.hdfs.write_local(
+                self.node, merge.disk_write_bytes, task_id=self.task_id,
+                phase=self.phase, kind="reduce.spill",
+                io_factor=self.stage.io_path_factor * _SPILL_IO_FACTOR)
+            yield from self._overlapped_io(transfer, merge.disk_write_bytes,
+                                           "reduce.spill")
+            transfer = self.hdfs.read_local(
+                self.node, merge.disk_read_bytes, task_id=self.task_id,
+                phase=self.phase, kind="reduce.merge.read",
+                io_factor=self.stage.io_path_factor * _SPILL_IO_FACTOR)
+            yield from self._overlapped_io(transfer, merge.disk_read_bytes,
+                                           "reduce.merge")
+
+        # User reduce function.  Aggregation state (count tables, merge
+        # heaps) grows with the partition, so the profile's working set
+        # scales with data size — the mechanism behind the paper's
+        # observation that growing inputs expose the little core's memory
+        # subsystem (§3.3).
+        if self.stage.reduce_profile is not None:
+            ws_factor = max(1.0, (partition / _REDUCE_WS_REF_BYTES) ** 0.5)
+            profile = scale_profile(self.stage.reduce_profile,
+                                    working_set_factor=min(ws_factor, 6.0))
+            yield from self._compute(
+                profile, partition * self.stage.reduce_ipb, "reduce.user")
+
+        # Replicated output write.
+        out = partition * self.stage.reduce_output_ratio
+        self.output_bytes = out
+        self.counters.output_bytes += out
+        if out > 0:
+            transfer = self.hdfs.write(f"{self.task_id}.out", out, self.node,
+                                       task_id=self.task_id, phase=self.phase,
+                                       io_factor=self.stage.io_path_factor,
+                                       replication=self.stage.output_replication)
+            yield from self._overlapped_io(transfer, out, "reduce.write")
+        self.counters.reduce_tasks += 1
+        return self.output_bytes

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate (engine, resources, tracing)."""
+
+from .engine import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
+                     Simulator, Timeout)
+from .resources import BandwidthDevice, Request, Resource, UsageStats
+from .trace import Interval, TraceRecorder, merge_intervals, total_overlap
+
+__all__ = [
+    "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
+    "Simulator", "Timeout", "BandwidthDevice", "Request", "Resource",
+    "UsageStats", "Interval", "TraceRecorder", "merge_intervals",
+    "total_overlap",
+]

@@ -1,0 +1,358 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, generator-based
+discrete-event engine in the style of SimPy, purpose-built for the Hadoop
+cluster simulator.  Processes are plain Python generators that ``yield``
+:class:`Event` objects; the engine resumes a process when the event it is
+waiting on fires.
+
+Design goals:
+
+* **Determinism** — events scheduled for the same timestamp fire in FIFO
+  order of scheduling (a monotonically increasing sequence number breaks
+  ties), so simulations are exactly reproducible.
+* **No global state** — every entity hangs off a :class:`Simulator`
+  instance; multiple simulations can run side by side.
+* **Introspection** — the engine counts events and exposes the current
+  simulated time, which the power model and the trace recorder build on.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of engine invariants (e.g. time travel)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*; calling :meth:`succeed` (or
+    :meth:`fail`) schedules it to fire immediately.  Firing invokes every
+    registered callback exactly once, in registration order.
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value", "_exc")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._triggered = False
+        self._processed = False
+        self.value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (no exception)."""
+        return self._triggered and self._exc is None
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to fire at the current simulation time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Schedule this event to fire with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule_event(self)
+        return self
+
+    # -- engine hooks ----------------------------------------------------
+    def _fire(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register *cb* to run when the event fires.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously), preserving exactly-once semantics.
+        """
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self.value = value
+        self._triggered = True
+        sim._schedule_event(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event fires, the generator is resumed with the event's ``value`` (or
+    the event's exception is thrown into it).  The return value of the
+    generator becomes the value of the process-completion event.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {type(generator).__name__}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once the engine starts / at the current time.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return  # process already finished (e.g. interrupted earlier)
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we stopped waiting on
+        self._waiting_on = None
+        try:
+            if event._exc is not None:
+                target = self.generator.throw(event._exc)
+            else:
+                target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            # Propagate crash to anyone waiting on this process; if nobody
+            # is waiting, re-raise so bugs do not pass silently.
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event")
+        if target.sim is not self.sim:
+            raise SimulationError("process yielded an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned; its eventual
+        firing is ignored by the stale-wakeup guard in :meth:`_resume`.
+        """
+        if not self.is_alive:
+            return
+        intr = Event(self.sim)
+        self._waiting_on = intr
+        intr.add_callback(self._resume)
+        intr.fail(Interrupt(cause))
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is a list of values."""
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def _cb(event: Event) -> None:
+            if self._triggered:
+                return
+            if event._exc is not None:
+                self.fail(event._exc)
+                return
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+        return _cb
+
+
+class AnyOf(Event):
+    """Fires as soon as one child event fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def _cb(event: Event) -> None:
+            if self._triggered:
+                return
+            if event._exc is not None:
+                self.fail(event._exc)
+            else:
+                self.succeed((index, event.value))
+        return _cb
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, event)."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = 0
+        self.event_count = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Launch *generator* as a process; returns its completion event."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of *events* fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches *until*.
+
+        Returns the final simulated time.
+        """
+        while self._queue:
+            when, _seq, event = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if when < self._now:
+                raise SimulationError(
+                    f"time travel: event at {when} < now {self._now}")
+            self._now = when
+            self.event_count += 1
+            event._fire()
+        return self._now
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError(
+                f"time travel: event at {when} < now {self._now}")
+        self._now = when
+        self.event_count += 1
+        event._fire()
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unfired events."""
+        return len(self._queue)

@@ -1,0 +1,205 @@
+"""Shared resources for the simulation kernel.
+
+Two abstractions cover everything the cluster model needs:
+
+* :class:`Resource` — a counted FIFO resource (CPU slots, map/reduce slots).
+* :class:`BandwidthDevice` — a serializing device with a service time per
+  request derived from a bandwidth and a fixed per-request latency (disks,
+  NICs).  Serialization is a standard first-order contention model: when
+  N requests overlap, each effectively sees ~1/N of the bandwidth.
+
+Both record utilization statistics that the power model and the analysis
+layer consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from .engine import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "BandwidthDevice", "UsageStats"]
+
+
+@dataclass
+class UsageStats:
+    """Aggregate utilization statistics for a resource or device."""
+
+    acquisitions: int = 0
+    total_wait: float = 0.0
+    total_service: float = 0.0
+    busy_time: float = 0.0
+    max_queue: int = 0
+
+    def mean_wait(self) -> float:
+        """Average time a request waited before service."""
+        return self.total_wait / self.acquisitions if self.acquisitions else 0.0
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of *makespan* the resource was busy (per unit capacity)."""
+        return self.busy_time / makespan if makespan > 0 else 0.0
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` unit."""
+
+    __slots__ = ("resource", "enqueued_at", "granted_at")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.enqueued_at = resource.sim.now
+        self.granted_at: Optional[float] = None
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    Usage from a process::
+
+        req = slots.request()
+        yield req
+        try:
+            yield sim.timeout(work)
+        finally:
+            slots.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        self.stats = UsageStats()
+        self._busy_since: Optional[float] = None
+        self._busy_units = 0
+
+    # -- busy-time accounting ------------------------------------------
+    def _note_units(self, delta: int) -> None:
+        now = self.sim.now
+        if self._busy_since is not None:
+            self.stats.busy_time += self._busy_units * (now - self._busy_since)
+        self._busy_units += delta
+        self._busy_since = now
+
+    # -- acquisition -----------------------------------------------------
+    def request(self) -> Request:
+        """Return an event that fires when one unit is granted."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+            self.stats.max_queue = max(self.stats.max_queue, len(self._waiting))
+        return req
+
+    def _grant(self, req: Request) -> None:
+        self._in_use += 1
+        self._note_units(+1)
+        req.granted_at = self.sim.now
+        self.stats.acquisitions += 1
+        self.stats.total_wait += req.granted_at - req.enqueued_at
+        req.succeed(self)
+
+    def release(self, req: Request) -> None:
+        """Return the unit acquired through *req*."""
+        if req.granted_at is None:
+            # Cancelled while waiting.
+            try:
+                self._waiting.remove(req)
+            except ValueError:
+                raise SimulationError("release of a request never granted")
+            return
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release without acquire")
+        self.stats.total_service += self.sim.now - req.granted_at
+        self._in_use -= 1
+        self._note_units(-1)
+        if self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def utilization(self, makespan: float) -> float:
+        """Average busy units over *makespan*, normalized by capacity."""
+        self._note_units(0)
+        if makespan <= 0:
+            return 0.0
+        return self.stats.busy_time / (makespan * self.capacity)
+
+
+class BandwidthDevice:
+    """A serializing device (disk / NIC) with bandwidth and fixed latency.
+
+    Each transfer of ``nbytes`` occupies the device for
+    ``latency + nbytes / bandwidth`` seconds.  Requests are served FIFO
+    with ``channels`` parallel servers; overlapping demand queues up, which
+    is what produces realistic I/O contention across concurrent tasks.
+
+    The device records its busy intervals so the power model can assign
+    active power to I/O time.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float = 0.0,
+                 channels: int = 1, name: str = "device"):
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative, got {latency}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self._servers = Resource(sim, channels, name=f"{name}.servers")
+        self.stats = UsageStats()
+        self.bytes_moved = 0.0
+        self.busy_intervals: List[Tuple[float, float]] = []
+
+    def service_time(self, nbytes: float) -> float:
+        """Pure service time for a transfer, excluding queueing."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: float):
+        """Process generator: move *nbytes* through the device.
+
+        Yields until the transfer completes (including queueing delay).
+        Returns the total elapsed time.
+        """
+        start = self.sim.now
+        req = self._servers.request()
+        yield req
+        try:
+            began = self.sim.now
+            self.stats.acquisitions += 1
+            self.stats.total_wait += began - start
+            duration = self.service_time(nbytes)
+            yield self.sim.timeout(duration)
+            self.bytes_moved += nbytes
+            self.stats.busy_time += duration
+            self.stats.total_service += duration
+            self.busy_intervals.append((began, self.sim.now))
+        finally:
+            self._servers.release(req)
+        return self.sim.now - start
+
+    @property
+    def queue_length(self) -> int:
+        return self._servers.queue_length
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of *makespan* the device spent transferring."""
+        return self.stats.utilization(makespan)

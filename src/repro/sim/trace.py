@@ -1,0 +1,155 @@
+"""Interval trace recorder.
+
+The cluster simulation does not compute power on the fly; instead every
+activity (a core computing, a core stalled on memory, a disk transfer, a
+network transfer, a framework overhead) is recorded as a timestamped
+interval.  The power model then folds a power level over the recorded
+timeline, and the phase accountant derives map/reduce/other breakdowns
+from the same data.  Keeping timing and power strictly separated makes
+both independently testable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Interval", "TraceRecorder", "merge_intervals", "total_overlap"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open activity interval ``[start, end)``.
+
+    Attributes:
+        start: interval start, simulated seconds.
+        end: interval end, simulated seconds.
+        node: name of the server node the activity ran on.
+        device: device class — ``"core"``, ``"disk"``, ``"nic"``, ``"fw"``.
+        kind: free-form activity label (``"map.compute"``, ``"shuffle"``...).
+        activity: 0..1 duty factor used by the power model (a core stalled
+            on DRAM burns less dynamic power than one retiring at full IPC).
+        task_id: owning task identifier, if any.
+        phase: MapReduce phase the activity belongs to
+            (``"map"``, ``"reduce"``, ``"other"``).
+    """
+
+    start: float
+    end: float
+    node: str
+    device: str
+    kind: str
+    activity: float = 1.0
+    task_id: Optional[str] = None
+    phase: str = "other"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError(f"activity must be within [0, 1]: {self}")
+
+
+class TraceRecorder:
+    """Collects :class:`Interval` records and answers aggregate queries."""
+
+    def __init__(self):
+        self._intervals: List[Interval] = []
+        self.marks: List[Tuple[float, str]] = []
+
+    # -- recording -------------------------------------------------------
+    def record(self, interval: Interval) -> None:
+        self._intervals.append(interval)
+
+    def add(self, start: float, end: float, node: str, device: str, kind: str,
+            activity: float = 1.0, task_id: Optional[str] = None,
+            phase: str = "other") -> None:
+        """Convenience wrapper building and recording an :class:`Interval`."""
+        self.record(Interval(start, end, node, device, kind, activity,
+                             task_id, phase))
+
+    def mark(self, time: float, label: str) -> None:
+        """Record a point event (job submitted, phase boundary...)."""
+        self.marks.append((time, label))
+
+    # -- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return list(self._intervals)
+
+    def filter(self, node: Optional[str] = None, device: Optional[str] = None,
+               kind: Optional[str] = None, phase: Optional[str] = None
+               ) -> List[Interval]:
+        """All intervals matching every provided criterion."""
+        out = []
+        for iv in self._intervals:
+            if node is not None and iv.node != node:
+                continue
+            if device is not None and iv.device != device:
+                continue
+            if kind is not None and not iv.kind.startswith(kind):
+                continue
+            if phase is not None and iv.phase != phase:
+                continue
+            out.append(iv)
+        return out
+
+    def span(self) -> Tuple[float, float]:
+        """(earliest start, latest end) over all intervals; (0, 0) if empty."""
+        if not self._intervals:
+            return (0.0, 0.0)
+        return (min(iv.start for iv in self._intervals),
+                max(iv.end for iv in self._intervals))
+
+    def busy_time(self, **criteria) -> float:
+        """Sum of durations of matching intervals (double-counts overlap)."""
+        return sum(iv.duration for iv in self.filter(**criteria))
+
+    def weighted_busy_time(self, **criteria) -> float:
+        """Sum of duration × activity over matching intervals."""
+        return sum(iv.duration * iv.activity for iv in self.filter(**criteria))
+
+    def phase_window(self, phase: str) -> Tuple[float, float]:
+        """Wall-clock window ``[first start, last end]`` of a phase."""
+        ivs = self.filter(phase=phase)
+        if not ivs:
+            return (0.0, 0.0)
+        return (min(iv.start for iv in ivs), max(iv.end for iv in ivs))
+
+    def phase_duration(self, phase: str) -> float:
+        """Wall-clock extent of a phase (coalesced, not summed)."""
+        start, end = self.phase_window(phase)
+        return end - start
+
+
+def merge_intervals(spans: Iterable[Tuple[float, float]]
+                    ) -> List[Tuple[float, float]]:
+    """Coalesce possibly-overlapping ``(start, end)`` spans.
+
+    Returns disjoint spans sorted by start.  Empty spans are dropped.
+    """
+    spans = sorted((s, e) for s, e in spans if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_overlap(spans: Iterable[Tuple[float, float]]) -> float:
+    """Total wall-clock time covered by at least one span."""
+    return sum(e - s for s, e in merge_intervals(spans))

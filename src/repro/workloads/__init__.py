@@ -1,0 +1,35 @@
+"""Workloads: the six Hadoop applications of Table 2 plus SPEC/PARSEC."""
+
+from .base import (EXTENSIONS, IO_PATH_PROFILE, MICRO_BENCHMARKS,
+                   REAL_WORLD, Category, JobStage, WorkloadSpec,
+                   all_workloads, register_workload, workload)
+from .kmeans import KMEANS, assign_cluster, generate_points, kmeans_fit
+from .datagen import (generate_labeled_documents, generate_records,
+                      generate_teragen_records, generate_text_lines,
+                      generate_transactions, zipf_vocabulary)
+from .fp_growth import (FP_GROWTH, FPTree, fp_growth_mine, item_frequencies,
+                        parallel_fp_growth)
+from .grep import GREP, grep_jobs
+from .naive_bayes import NAIVE_BAYES, NaiveBayesModel, train_naive_bayes
+from .sort import SORT, sort_job
+from .terasort import TERASORT, range_partitioner, sample_split_points, terasort_jobs
+from .traditional import (PARSEC_21, SPEC_CPU2006, TraditionalResult,
+                          run_traditional, suite_average_ipc,
+                          suite_average_result)
+from .wordcount import WORDCOUNT, wordcount_job
+
+__all__ = [
+    "EXTENSIONS", "KMEANS", "assign_cluster", "generate_points",
+    "kmeans_fit", "IO_PATH_PROFILE", "MICRO_BENCHMARKS", "REAL_WORLD",
+    "Category",
+    "JobStage", "WorkloadSpec", "all_workloads", "register_workload",
+    "workload", "generate_labeled_documents", "generate_records",
+    "generate_teragen_records", "generate_text_lines",
+    "generate_transactions", "zipf_vocabulary", "FP_GROWTH", "FPTree",
+    "fp_growth_mine", "item_frequencies", "parallel_fp_growth", "GREP",
+    "grep_jobs", "NAIVE_BAYES", "NaiveBayesModel", "train_naive_bayes",
+    "SORT", "sort_job", "TERASORT", "range_partitioner",
+    "sample_split_points", "terasort_jobs", "PARSEC_21", "SPEC_CPU2006",
+    "TraditionalResult", "run_traditional", "suite_average_ipc",
+    "suite_average_result", "WORDCOUNT", "wordcount_job",
+]

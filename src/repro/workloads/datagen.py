@@ -1,0 +1,155 @@
+"""Synthetic dataset generators.
+
+The paper's datasets (text corpora for WordCount/Grep/Naive Bayes,
+random tables for Sort/TeraSort via TeraGen, transaction databases for
+FP-Growth) are not distributed, so the functional layer generates
+statistically similar stand-ins: Zipf-distributed word streams, uniform
+random key/value records, and market-basket transactions with planted
+frequent itemsets.  Everything is deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "zipf_vocabulary", "generate_text_lines", "generate_records",
+    "generate_teragen_records", "generate_transactions",
+    "generate_labeled_documents",
+]
+
+
+def zipf_vocabulary(size: int, seed: int = 11) -> List[str]:
+    """A vocabulary of *size* distinct pseudo-words."""
+    if size < 1:
+        raise ValueError("vocabulary size must be >= 1")
+    rng = random.Random(seed)
+    words = set()
+    while len(words) < size:
+        length = rng.randint(3, 9)
+        words.add("".join(rng.choice(string.ascii_lowercase)
+                          for _ in range(length)))
+    return sorted(words)
+
+
+def _zipf_sampler(rng: random.Random, n: int, exponent: float = 1.1):
+    """Return a function sampling ranks 0..n-1 with Zipf weights."""
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample
+
+
+def generate_text_lines(n_lines: int, words_per_line: int = 10,
+                        vocabulary_size: int = 500, seed: int = 11
+                        ) -> List[str]:
+    """Zipf-distributed text, the WordCount/Grep input analogue."""
+    if n_lines < 0 or words_per_line < 1:
+        raise ValueError("invalid text shape")
+    vocab = zipf_vocabulary(vocabulary_size, seed)
+    rng = random.Random(seed * 31 + 7)
+    sample = _zipf_sampler(rng, len(vocab))
+    return [" ".join(vocab[sample()] for _ in range(words_per_line))
+            for _ in range(n_lines)]
+
+
+def generate_records(n_records: int, key_space: int = 1 << 30,
+                     value_bytes: int = 90, seed: int = 13
+                     ) -> List[Tuple[int, str]]:
+    """Uniform random (key, payload) records — the Sort input analogue."""
+    if n_records < 0:
+        raise ValueError("record count must be >= 0")
+    rng = random.Random(seed)
+    payload_alphabet = string.ascii_uppercase + string.digits
+    return [(rng.randrange(key_space),
+             "".join(rng.choice(payload_alphabet) for _ in range(value_bytes)))
+            for _ in range(n_records)]
+
+
+def generate_teragen_records(n_records: int, seed: int = 17
+                             ) -> List[Tuple[str, str]]:
+    """TeraGen-style records: 10-byte key, 88-byte payload (shrunk here)."""
+    rng = random.Random(seed)
+    alphabet = string.ascii_uppercase + string.digits
+    records = []
+    for _ in range(max(0, n_records)):
+        key = "".join(rng.choice(alphabet) for _ in range(10))
+        payload = "".join(rng.choice(alphabet) for _ in range(22))
+        records.append((key, payload))
+    return records
+
+
+def generate_transactions(n_transactions: int, n_items: int = 60,
+                          mean_length: int = 8, seed: int = 19,
+                          planted_itemsets: Sequence[Sequence[str]] = (),
+                          planted_probability: float = 0.3
+                          ) -> List[List[str]]:
+    """Market-basket transactions with optional planted frequent itemsets.
+
+    Planted itemsets appear together with *planted_probability*, giving
+    FP-Growth known ground truth that tests assert on.
+    """
+    if n_transactions < 0 or n_items < 1 or mean_length < 1:
+        raise ValueError("invalid transaction shape")
+    if not 0.0 <= planted_probability <= 1.0:
+        raise ValueError("planted probability must be in [0, 1]")
+    rng = random.Random(seed)
+    items = [f"item{idx:03d}" for idx in range(n_items)]
+    sample = _zipf_sampler(rng, n_items, exponent=0.9)
+    transactions: List[List[str]] = []
+    for _ in range(n_transactions):
+        length = max(1, int(rng.gauss(mean_length, mean_length / 3)))
+        basket = {items[sample()] for _ in range(length)}
+        for itemset in planted_itemsets:
+            if rng.random() < planted_probability:
+                basket.update(itemset)
+        transactions.append(sorted(basket))
+    return transactions
+
+
+def generate_labeled_documents(n_docs: int, classes: Sequence[str] = ("spam", "ham"),
+                               words_per_doc: int = 20,
+                               vocabulary_size: int = 300, seed: int = 23
+                               ) -> List[Tuple[str, str]]:
+    """Labeled documents with class-skewed vocabularies for Naive Bayes.
+
+    Each class draws preferentially from its own slice of the vocabulary,
+    so a correct classifier beats chance by a wide margin — which the
+    Naive Bayes tests assert.
+    """
+    if n_docs < 0 or not classes or words_per_doc < 1:
+        raise ValueError("invalid document shape")
+    vocab = zipf_vocabulary(vocabulary_size, seed)
+    rng = random.Random(seed * 13 + 1)
+    slice_size = max(1, vocabulary_size // len(classes))
+    docs: List[Tuple[str, str]] = []
+    for i in range(n_docs):
+        label = classes[i % len(classes)]
+        class_index = list(classes).index(label)
+        own = vocab[class_index * slice_size:(class_index + 1) * slice_size]
+        words = []
+        for _ in range(words_per_doc):
+            if rng.random() < 0.7 and own:
+                words.append(rng.choice(own))
+            else:
+                words.append(rng.choice(vocab))
+        docs.append((label, " ".join(words)))
+    return docs

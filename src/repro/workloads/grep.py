@@ -1,0 +1,139 @@
+"""Grep (GP): two chained MapReduce jobs — search, then sort by frequency.
+
+The paper calls Grep CPU-intensive but observes hybrid behaviour
+(§3.1.1): the search pass streams the whole input through a regex
+matcher with a tiny output, and the sort pass (over the small match
+table) is shuffle-dominated.  Because two jobs run in sequence, setup
+and cleanup contribute a visibly larger share of the execution time than
+for the single-job benchmarks — the paper points this out in §3.4.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Tuple
+
+from ..arch.cores import CpuProfile
+from .base import Category, JobStage, WorkloadSpec, register_workload
+
+__all__ = ["GREP", "grep_jobs", "grep_search_mapper", "grep_count_reducer",
+           "grep_sort_mapper", "grep_sort_reducer"]
+
+#: Regex scanning: predictable streaming with high ILP in the DFA loop.
+SEARCH_PROFILE = CpuProfile.characterized(
+    "gp-search-map",
+    ilp=1.8,
+    apki=430.0,
+    l1_miss_ratio=0.10,
+    locality_alpha=0.60,
+    branch_mpki=6.0,
+    frontend_mpki=9.0,
+)
+
+#: Counting and frequency sorting: memory-heavy aggregation over the
+#: match table — this is the phase that makes Grep's *reduce* prefer the
+#: big core in the paper's Fig. 7c.
+COUNT_PROFILE = CpuProfile.characterized(
+    "gp-count-reduce",
+    ilp=1.6,
+    apki=700.0,
+    l1_miss_ratio=0.32,
+    locality_alpha=0.31,
+    branch_mpki=6.0,
+    frontend_mpki=10.0,
+)
+
+SORT_STAGE_PROFILE = CpuProfile.characterized(
+    "gp-sort",
+    ilp=1.6,
+    apki=480.0,
+    l1_miss_ratio=0.14,
+    locality_alpha=0.5,
+    branch_mpki=4.0,
+    frontend_mpki=7.0,
+)
+
+GREP = register_workload(WorkloadSpec(
+    name="grep",
+    full_name="Grep (GP)",
+    domain="I/O-CPU testing micro program",
+    data_source="text",
+    category=Category.HYBRID,
+    stages=(
+        JobStage(
+            name="search",
+            map_ipb=110.0,
+            map_profile=SEARCH_PROFILE,
+            map_output_ratio=0.02,
+            reduce_ipb=95.0,
+            reduce_profile=COUNT_PROFILE,
+            reduce_output_ratio=1.0,
+            reduces_per_node=1.0,
+            io_ipb=1.4,
+            sort_ipb=6.0,
+            io_path_factor=0.35,
+        ),
+        JobStage(
+            name="sort",
+            map_ipb=18.0,
+            map_profile=SORT_STAGE_PROFILE,
+            map_output_ratio=1.0,
+            reduce_ipb=60.0,
+            reduce_profile=COUNT_PROFILE,
+            reduce_output_ratio=1.0,
+            reduces_per_node=1.0,
+            io_ipb=2.0,
+            input_source="previous",
+            sort_ipb=9.0,
+            io_path_factor=0.5,
+        ),
+    ),
+    functional_factory=lambda: grep_jobs(),
+))
+
+
+# -- functional implementation -----------------------------------------------
+
+def grep_search_mapper(pattern: str):
+    """Build the search-stage mapper for a regex *pattern*."""
+    compiled = re.compile(pattern)
+
+    def mapper(_key, line: str) -> Iterable[Tuple[str, int]]:
+        for match in compiled.findall(line):
+            yield (match, 1)
+    return mapper
+
+
+def grep_count_reducer(match: str, counts: List[int]
+                       ) -> Iterable[Tuple[str, int]]:
+    yield (match, sum(counts))
+
+
+def grep_sort_mapper(match: str, count: int) -> Iterable[Tuple[int, str]]:
+    """Invert to (−count, match) so the sorted output is by frequency."""
+    yield (-count, match)
+
+
+def grep_sort_reducer(neg_count: int, matches: List[str]
+                      ) -> Iterable[Tuple[str, int]]:
+    for match in sorted(matches):
+        yield (match, -neg_count)
+
+
+def grep_jobs(pattern: str = r"[a-z]*ing", num_reducers: int = 2):
+    """The two chained functional jobs (search, then sort-by-frequency)."""
+    from ..mapreduce.functional import FunctionalJob
+    search = FunctionalJob(
+        name="grep-search",
+        mapper=grep_search_mapper(pattern),
+        reducer=grep_count_reducer,
+        combiner=grep_count_reducer,
+        num_reducers=num_reducers,
+    )
+    freq_sort = FunctionalJob(
+        name="grep-sort",
+        mapper=grep_sort_mapper,
+        reducer=grep_sort_reducer,
+        num_reducers=1,
+    )
+    return [search, freq_sort]

@@ -1,0 +1,156 @@
+"""TeraSort (TS): sampled range-partitioned sort, the paper's hybrid case.
+
+TeraSort first samples the input to compute reducer key ranges (TeraGen's
+quantile step, Table 2), then sorts with a range partitioner so the
+concatenated reducer outputs are globally ordered.  Unlike Sort it has a
+real reduce phase and only *moderate* I/O per the paper, so the Xeon/Atom
+gap is small (~1.57×) and the reduce phase carries a meaningful share of
+the execution time — which is why acceleration barely changes its
+Atom-vs-Xeon choice (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..arch.cores import CpuProfile
+from .base import Category, JobStage, WorkloadSpec, register_workload
+
+__all__ = ["TERASORT", "terasort_jobs", "sample_split_points",
+           "range_partitioner"]
+
+SAMPLE_PROFILE = CpuProfile.characterized(
+    "ts-sample",
+    ilp=1.9,
+    apki=450.0,
+    l1_miss_ratio=0.10,
+    locality_alpha=0.55,
+    branch_mpki=3.0,
+    frontend_mpki=5.0,
+)
+
+#: Key comparison and record movement: moderate reuse (run generation
+#: fits in cache more often than Sort's raw streaming).
+SORT_MAP_PROFILE = CpuProfile.characterized(
+    "ts-map",
+    ilp=1.3,
+    apki=500.0,
+    l1_miss_ratio=0.065,
+    locality_alpha=0.62,
+    branch_mpki=5.0,
+    frontend_mpki=6.0,
+)
+
+#: Merge + write: memory-heavy multi-way merge.
+SORT_REDUCE_PROFILE = CpuProfile.characterized(
+    "ts-reduce",
+    ilp=1.3,
+    apki=560.0,
+    l1_miss_ratio=0.09,
+    locality_alpha=0.58,
+    branch_mpki=3.5,
+    frontend_mpki=6.0,
+)
+
+TERASORT = register_workload(WorkloadSpec(
+    name="terasort",
+    full_name="TeraSort (TS)",
+    domain="I/O-CPU testing micro program",
+    data_source="table",
+    category=Category.HYBRID,
+    stages=(
+        JobStage(
+            name="sample",
+            map_ipb=30.0,
+            map_profile=SAMPLE_PROFILE,
+            map_output_ratio=0.002,
+            reduces_per_node=0.0,
+            io_ipb=1.5,
+            input_source="original",
+            input_fraction=0.05,
+            sort_ipb=5.0,
+            io_path_factor=0.4,
+            output_replication=1,
+        ),
+        JobStage(
+            name="sort",
+            map_ipb=130.0,
+            map_profile=SORT_MAP_PROFILE,
+            map_output_ratio=1.0,
+            reduce_ipb=35.0,
+            reduce_profile=SORT_REDUCE_PROFILE,
+            reduce_output_ratio=1.0,
+            reduces_per_node=4.0,
+            io_ipb=2.0,
+            input_source="original",
+            sort_ipb=7.0,
+            io_path_factor=0.30,
+            output_replication=1,
+        ),
+    ),
+    functional_factory=lambda: terasort_jobs(),
+))
+
+
+# -- functional implementation ------------------------------------------------
+
+def sample_split_points(keys: Sequence, num_reducers: int) -> List:
+    """Quantile split points from a key sample (TeraSort's sampler).
+
+    Returns ``num_reducers - 1`` sorted boundaries: reducer *r* receives
+    keys in ``(split[r-1], split[r]]``.
+    """
+    if num_reducers < 1:
+        raise ValueError("need at least one reducer")
+    ordered = sorted(keys)
+    if num_reducers == 1 or not ordered:
+        return []
+    splits = []
+    for r in range(1, num_reducers):
+        index = min(len(ordered) - 1, r * len(ordered) // num_reducers)
+        splits.append(ordered[index])
+    return splits
+
+
+def range_partitioner(splits: Sequence):
+    """Partitioner sending each key to its quantile range."""
+    def partition(key, num_reducers: int) -> int:
+        lo, hi = 0, len(splits)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key > splits[mid]:
+                lo = mid + 1
+            else:
+                hi = mid
+        return min(lo, num_reducers - 1)
+    return partition
+
+
+def terasort_jobs(num_reducers: int = 4, sample_fraction: float = 0.1):
+    """Build the runnable TeraSort as a closure over a sampling step.
+
+    Returns ``(prepare, job)`` where ``prepare(records)`` must run first
+    to compute the split points (the real TeraSort does this client-side
+    before submitting the job).
+    """
+    from ..mapreduce.functional import (FunctionalJob, identity_mapper,
+                                        identity_reducer)
+    state = {"splits": []}
+
+    def prepare(records: Sequence[Tuple]) -> List:
+        step = max(1, int(1.0 / max(sample_fraction, 1e-9)))
+        sample = [records[i][0] for i in range(0, len(records), step)]
+        state["splits"] = sample_split_points(sample, num_reducers)
+        return state["splits"]
+
+    def partitioner(key, n: int) -> int:
+        return range_partitioner(state["splits"])(key, n)
+
+    job = FunctionalJob(
+        name="terasort",
+        mapper=identity_mapper,
+        reducer=identity_reducer,
+        partitioner=partitioner,
+        num_reducers=num_reducers,
+    )
+    return prepare, job

@@ -1,0 +1,138 @@
+"""Traditional CPU benchmarks: SPEC CPU2006 and PARSEC 2.1 profiles.
+
+Fig. 1 and Fig. 2 of the paper contrast Hadoop against industry-standard
+CPU suites.  We cannot run the proprietary binaries, so each benchmark is
+represented by a published-characterization-shaped
+:class:`~repro.arch.cores.CpuProfile` (ILP, access density, locality,
+branch behaviour) executed on the same analytical core model as
+everything else — exactly the quantities Fig. 1/2 need (suite-average IPC
+and EDxP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..arch.cores import CorePerf, CpuProfile
+from ..arch.dvfs import GHZ
+from ..arch.presets import MachineSpec
+
+__all__ = ["SPEC_CPU2006", "PARSEC_21", "TraditionalResult",
+           "run_traditional", "suite_average_ipc", "suite_average_result"]
+
+
+def _p(name: str, ilp: float, apki: float, l1: float, alpha: float,
+       br: float, fe: float = 1.5) -> CpuProfile:
+    return CpuProfile.characterized(
+        name, ilp=ilp, apki=apki, l1_miss_ratio=l1, locality_alpha=alpha,
+        branch_mpki=br, frontend_mpki=fe)
+
+
+#: SPEC CPU2006 (reference inputs): high-ILP, cache-resident kernels with
+#: a few memory-bound outliers (mcf, lbm) — per the standard
+#: characterizations the suite averages out to roughly 2x the IPC of
+#: scale-out code.
+SPEC_CPU2006: Dict[str, CpuProfile] = {
+    "perlbench": _p("perlbench", 2.2, 380, 0.030, 0.65, 6.0, 4.0),
+    "bzip2":     _p("bzip2",     2.4, 420, 0.045, 0.60, 5.0, 1.0),
+    "gcc":       _p("gcc",       2.0, 400, 0.060, 0.55, 6.5, 5.0),
+    "mcf":       _p("mcf",       1.3, 520, 0.200, 0.35, 7.0, 1.0),
+    "gobmk":     _p("gobmk",     1.9, 360, 0.035, 0.62, 9.0, 3.0),
+    "hmmer":     _p("hmmer",     3.0, 450, 0.025, 0.70, 2.0, 0.5),
+    "sjeng":     _p("sjeng",     2.1, 340, 0.030, 0.64, 8.0, 2.0),
+    "libquantum": _p("libquantum", 2.6, 500, 0.110, 0.50, 1.5, 0.5),
+    "h264ref":   _p("h264ref",   3.1, 430, 0.030, 0.68, 3.0, 1.0),
+    "omnetpp":   _p("omnetpp",   1.6, 480, 0.120, 0.42, 6.0, 4.0),
+    "astar":     _p("astar",     1.7, 440, 0.080, 0.50, 7.5, 1.5),
+    "xalancbmk": _p("xalancbmk", 1.8, 470, 0.090, 0.48, 6.0, 6.0),
+    "lbm":       _p("lbm",       2.8, 560, 0.180, 0.40, 0.8, 0.3),
+    "milc":      _p("milc",      2.3, 540, 0.150, 0.42, 1.2, 0.5),
+}
+
+#: PARSEC 2.1 (native inputs): parallel kernels, slightly lower ILP and
+#: larger shared working sets than SPEC.
+PARSEC_21: Dict[str, CpuProfile] = {
+    "blackscholes": _p("blackscholes", 2.9, 420, 0.030, 0.66, 1.5, 0.5),
+    "bodytrack":    _p("bodytrack",    2.2, 440, 0.050, 0.58, 4.0, 2.0),
+    "canneal":      _p("canneal",      1.4, 520, 0.190, 0.36, 5.0, 2.0),
+    "dedup":        _p("dedup",        1.9, 480, 0.100, 0.48, 4.5, 3.0),
+    "facesim":      _p("facesim",      2.4, 500, 0.080, 0.52, 2.5, 1.0),
+    "ferret":       _p("ferret",       2.0, 460, 0.070, 0.52, 4.0, 2.5),
+    "fluidanimate": _p("fluidanimate", 2.5, 510, 0.090, 0.50, 2.0, 0.8),
+    "freqmine":     _p("freqmine",     1.8, 470, 0.110, 0.46, 5.5, 2.0),
+    "streamcluster": _p("streamcluster", 2.1, 560, 0.160, 0.40, 1.5, 0.5),
+    "swaptions":    _p("swaptions",    3.0, 400, 0.025, 0.70, 2.5, 0.8),
+    "vips":         _p("vips",         2.6, 450, 0.060, 0.56, 3.0, 1.5),
+    "x264":         _p("x264",         2.8, 430, 0.045, 0.62, 4.0, 1.5),
+}
+
+
+@dataclass(frozen=True)
+class TraditionalResult:
+    """One benchmark run on one machine at one frequency."""
+
+    benchmark: str
+    machine: str
+    freq_ghz: float
+    ipc: float
+    seconds: float
+    dynamic_power_w: float
+
+    @property
+    def dynamic_energy_j(self) -> float:
+        return self.dynamic_power_w * self.seconds
+
+
+def run_traditional(mspec: MachineSpec, profile: CpuProfile,
+                    freq_ghz: float = 1.8, instructions: float = 2e12,
+                    threads: int = 1) -> TraditionalResult:
+    """Evaluate one traditional benchmark analytically.
+
+    *threads* models PARSEC's parallelism: work splits evenly, per-core
+    IPC is unchanged, power scales with active cores.  SPEC runs
+    single-threaded.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    threads = min(threads, mspec.cores_per_node)
+    freq_hz = freq_ghz * GHZ
+    perf: CorePerf = mspec.core.evaluate(profile, freq_hz)
+    seconds = perf.seconds_for(instructions / threads)
+    from ..arch.power import NodePower
+    node_power = NodePower(mspec.power, mspec.dvfs.operating_point(freq_hz))
+    # Wall-meter view (§1.1): the active cores plus the node's job-active
+    # uncore/DRAM uplift — the meter cannot separate them.
+    watts = (node_power.core_uplift(perf.activity) * threads
+             + mspec.power.job_active_uplift)
+    return TraditionalResult(
+        benchmark=profile.name,
+        machine=mspec.name,
+        freq_ghz=freq_ghz,
+        ipc=perf.ipc,
+        seconds=seconds,
+        dynamic_power_w=watts,
+    )
+
+
+def suite_average_ipc(mspec: MachineSpec, suite: Dict[str, CpuProfile],
+                      freq_ghz: float = 1.8) -> float:
+    """Arithmetic-mean IPC of a suite on one machine (Fig. 1's bars)."""
+    if not suite:
+        raise ValueError("empty suite")
+    results = [run_traditional(mspec, p, freq_ghz) for p in suite.values()]
+    return sum(r.ipc for r in results) / len(results)
+
+
+def suite_average_result(mspec: MachineSpec, suite: Dict[str, CpuProfile],
+                         freq_ghz: float = 1.8, threads: int = 1
+                         ) -> Tuple[float, float, float]:
+    """(mean seconds, mean dynamic watts, mean IPC) over a suite."""
+    if not suite:
+        raise ValueError("empty suite")
+    results = [run_traditional(mspec, p, freq_ghz, threads=threads)
+               for p in suite.values()]
+    n = len(results)
+    return (sum(r.seconds for r in results) / n,
+            sum(r.dynamic_power_w for r in results) / n,
+            sum(r.ipc for r in results) / n)

@@ -1,0 +1,44 @@
+"""Shared fixtures: one characterization cache for the whole test session.
+
+Simulations are deterministic and memoized, so expensive grid cells are
+paid for once no matter how many tests consult them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.characterization import Characterizer, RunKey
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def characterizer() -> Characterizer:
+    """Session-wide memoized grid runner."""
+    return Characterizer()
+
+
+@pytest.fixture(scope="session")
+def wc_results(characterizer):
+    """WordCount at the default operating point on both machines."""
+    return {
+        machine: characterizer.run(RunKey(machine, "wordcount"))
+        for machine in ("atom", "xeon")
+    }
+
+
+@pytest.fixture(scope="session")
+def sort_results(characterizer):
+    """Sort at the default operating point on both machines."""
+    return {
+        machine: characterizer.run(RunKey(machine, "sort"))
+        for machine in ("atom", "xeon")
+    }

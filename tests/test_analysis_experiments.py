@@ -1,0 +1,50 @@
+"""Smoke tests for the experiment drivers (full runs live in benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (ALL_EXPERIMENTS, fig1_ipc,
+                                        fig9_edp_ratio_block,
+                                        scheduling_case_study)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_a_driver(self):
+        paper = {f"F{i}" for i in range(1, 18)} | {"T3", "S1"}
+        extensions = {"X1", "X2"}
+        assert set(ALL_EXPERIMENTS) == paper | extensions
+
+    def test_drivers_documented(self):
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            assert fn.__doc__, exp_id
+
+
+class TestDrivers:
+    def test_fig1_structure(self, characterizer):
+        exp = fig1_ipc(characterizer)
+        assert exp.exp_id == "F1"
+        ipc = exp.data["ipc"]
+        for label in ("Avg_Spec", "Avg_Parsec", "Avg_Hadoop"):
+            assert ipc[(label, "xeon")] > ipc[(label, "atom")]
+        text = exp.render()
+        assert "F1" in text and "Avg_Hadoop" in text
+
+    def test_fig9_series_cover_all_apps(self, characterizer):
+        exp = fig9_edp_ratio_block(characterizer)
+        assert set(exp.data["series"]) == {
+            "wordcount", "sort", "grep", "terasort", "naive_bayes",
+            "fp_growth"}
+
+    def test_scheduling_case_study(self, characterizer):
+        exp = scheduling_case_study(characterizer, goal="EDP")
+        reports = exp.data["reports"]
+        assert reports["exhaustive-oracle"].mean_regret == pytest.approx(1.0)
+        assert reports["paper-heuristic"].mean_regret < reports[
+            "little-first"].mean_regret
+
+    def test_render_has_header_and_sections(self, characterizer):
+        exp = fig1_ipc(characterizer)
+        rendered = exp.render()
+        assert rendered.startswith("== F1")
+        assert len(exp.sections) >= 1

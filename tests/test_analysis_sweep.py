@@ -1,0 +1,87 @@
+"""Unit tests for the sweep harness and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import eng, format_grid, format_series, format_table
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self, characterizer):
+        return sweep(characterizer,
+                     machine=["atom", "xeon"],
+                     workload=["wordcount"],
+                     freq_ghz=[1.2, 1.8])
+
+    def test_cross_product_size(self, result):
+        assert len(result) == 4
+
+    def test_get_by_coordinates(self, result):
+        r = result.get(machine="atom", workload="wordcount", freq_ghz=1.8)
+        assert r.machine == "atom"
+        assert r.freq_ghz == pytest.approx(1.8)
+
+    def test_get_missing_cell(self, result):
+        with pytest.raises(KeyError):
+            result.get(machine="atom", workload="wordcount", freq_ghz=1.5)
+
+    def test_series_extraction(self, result):
+        series = result.series("freq_ghz",
+                               lambda r: r.execution_time_s,
+                               machine="atom", workload="wordcount")
+        assert [x for x, _y in series] == [1.2, 1.8]
+        assert series[0][1] > series[1][1]  # slower at lower frequency
+
+    def test_series_unknown_axis(self, result):
+        with pytest.raises(KeyError):
+            result.series("voltage", lambda r: 0.0)
+
+    def test_unknown_axis_rejected(self, characterizer):
+        with pytest.raises(KeyError):
+            sweep(characterizer, machine=["atom"], overclock=[2.0])
+
+    def test_sweep_uses_shared_cache(self, characterizer):
+        before = len(characterizer)
+        sweep(characterizer, machine=["atom"], workload=["wordcount"],
+              freq_ghz=[1.2, 1.8])
+        sweep(characterizer, machine=["atom"], workload=["wordcount"],
+              freq_ghz=[1.2, 1.8])
+        after = len(characterizer)
+        assert after <= before + 2  # second sweep fully cached
+
+
+class TestTables:
+    def test_eng_format(self):
+        assert eng(0.0) == "0"
+        assert eng(1234.0) == "1.23e+03" or "1.23" in eng(1234.0)
+        assert "E" in eng(4.2e7)
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1.0], ["bbbb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_table_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_series(self):
+        text = format_series("s", ["a", "b"], [1.0, 2.0])
+        assert "a:1" in text and "b:2" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", ["a"], [1.0, 2.0])
+
+    def test_format_grid(self):
+        text = format_grid("G", ["r1"], ["c1", "c2"],
+                           {("r1", "c1"): 1.0, ("r1", "c2"): 2.0})
+        assert "r1" in text and "c1" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the DVFS table."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.dvfs import (GHZ, PAPER_FREQUENCIES_GHZ, DvfsTable,
+                             OperatingPoint, linear_table)
+
+
+class TestOperatingPoint:
+    def test_ghz_conversion(self):
+        assert OperatingPoint(1.8e9, 1.0).freq_ghz == pytest.approx(1.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1e9, 0)
+
+
+class TestDvfsTable:
+    def _table(self):
+        return linear_table([1.2, 1.4, 1.6, 1.8], v_min=0.8, v_max=1.0)
+
+    def test_paper_frequencies(self):
+        assert PAPER_FREQUENCIES_GHZ == (1.2, 1.4, 1.6, 1.8)
+
+    def test_endpoints(self):
+        table = self._table()
+        assert table.voltage_at(1.2 * GHZ) == pytest.approx(0.8)
+        assert table.voltage_at(1.8 * GHZ) == pytest.approx(1.0)
+
+    def test_interpolation_midpoint(self):
+        table = self._table()
+        assert table.voltage_at(1.5 * GHZ) == pytest.approx(0.9)
+
+    def test_out_of_range_rejected(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.voltage_at(1.0 * GHZ)
+        with pytest.raises(ValueError):
+            table.voltage_at(2.0 * GHZ)
+
+    def test_supports(self):
+        table = self._table()
+        assert table.supports(1.2 * GHZ)
+        assert table.supports(1.55 * GHZ)
+        assert not table.supports(2.0 * GHZ)
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsTable([OperatingPoint(1e9, 0.8), OperatingPoint(1e9, 0.9)])
+
+    def test_voltage_must_grow_with_frequency(self):
+        with pytest.raises(ValueError):
+            DvfsTable([OperatingPoint(1e9, 0.9), OperatingPoint(2e9, 0.8)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsTable([])
+
+    def test_single_point_table(self):
+        table = linear_table([1.8], v_min=0.8, v_max=1.0)
+        assert table.voltage_at(1.8 * GHZ) == pytest.approx(1.0)
+
+    def test_operating_point_helper(self):
+        op = self._table().operating_point(1.4 * GHZ)
+        assert op.freq_ghz == pytest.approx(1.4)
+        assert 0.8 < op.voltage < 1.0
+
+    @given(st.floats(min_value=1.2, max_value=1.8),
+           st.floats(min_value=1.2, max_value=1.8))
+    def test_voltage_monotone_in_frequency(self, f_a, f_b):
+        table = self._table()
+        lo, hi = min(f_a, f_b), max(f_a, f_b)
+        assert table.voltage_at(lo * GHZ) <= table.voltage_at(hi * GHZ) + 1e-12

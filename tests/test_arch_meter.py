@@ -1,0 +1,80 @@
+"""Unit tests for the simulated Watts-Up PRO meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.dvfs import OperatingPoint
+from repro.arch.meter import WattsUpMeter
+from repro.arch.power import NodePower, PowerSpec
+from repro.sim.trace import TraceRecorder
+
+
+def _power():
+    spec = PowerSpec(base_watts=20.0, core_dynamic_coeff=0.0,
+                     core_static_uplift=0.0, disk_active_uplift=10.0,
+                     nic_active_uplift=4.0, idle_voltage=0.8)
+    return NodePower(spec, OperatingPoint(1.8e9, 1.0))
+
+
+def _meter(interval=1.0):
+    return WattsUpMeter({"n0": _power()}, sample_interval=interval)
+
+
+def _trace():
+    tr = TraceRecorder()
+    tr.add(0.0, 10.0, "n0", "disk", "read")      # +10 W for 10 s
+    tr.add(2.0, 6.0, "n0", "nic", "shuffle")     # +4 W for 4 s
+    return tr
+
+
+class TestWaveform:
+    def test_levels_follow_edges(self):
+        waveform = _meter().waveform(_trace())
+        assert waveform[0] == (0.0, 30.0)          # idle 20 + disk 10
+        assert (2.0, 34.0) in waveform             # + nic
+        assert (6.0, 30.0) in waveform             # nic done
+        assert waveform[-1] == (10.0, 20.0)        # back to idle
+
+    def test_empty_trace_gives_empty_waveform(self):
+        assert _meter().waveform(TraceRecorder()) == []
+
+
+class TestSampling:
+    def test_one_hertz_sample_count(self):
+        readings = _meter(1.0).sample(_trace())
+        assert len(readings) == 11  # t = 0..10 inclusive
+
+    def test_sampled_values(self):
+        readings = {r.time: r.watts for r in _meter(1.0).sample(_trace())}
+        assert readings[1.0] == pytest.approx(30.0)
+        assert readings[3.0] == pytest.approx(34.0)
+        assert readings[10.0] == pytest.approx(20.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            WattsUpMeter({"n0": _power()}, sample_interval=0.0)
+
+
+class TestEstimator:
+    def test_dynamic_power_subtracts_idle(self):
+        meter = _meter(0.001)
+        dynamic = meter.dynamic_power(_trace())
+        exact_avg = meter.exact_dynamic_energy(_trace()) / 10.0
+        assert dynamic == pytest.approx(exact_avg, rel=0.02)
+
+    def test_exact_energy(self):
+        assert _meter().exact_dynamic_energy(_trace()) == pytest.approx(
+            10 * 10.0 + 4 * 4.0)
+
+    def test_finer_sampling_converges(self):
+        trace = _trace()
+        exact = _meter().exact_dynamic_energy(trace) / 10.0
+        coarse = abs(_meter(3.0).dynamic_power(trace) - exact)
+        fine = abs(_meter(0.01).dynamic_power(trace) - exact)
+        assert fine <= coarse + 1e-9
+
+    def test_idle_trace_reads_idle(self):
+        meter = _meter()
+        assert meter.average_power(TraceRecorder()) == pytest.approx(20.0)
+        assert meter.dynamic_power(TraceRecorder()) == 0.0

@@ -1,0 +1,107 @@
+"""The machine presets must encode the paper's Table 1 and §1.2 facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.caches import KIB, MIB
+from repro.arch.dvfs import GHZ
+from repro.arch.presets import (ATOM_C2758, FRAMEWORK_PROFILE, MACHINES,
+                                XEON_E5_2420, machine)
+
+
+class TestTable1Parameters:
+    def test_atom_identity(self):
+        assert ATOM_C2758.core.name == "Atom C2758"
+        assert ATOM_C2758.core.microarch == "Silvermont"
+
+    def test_xeon_identity(self):
+        assert XEON_E5_2420.core.name == "Xeon E5-2420"
+        assert XEON_E5_2420.core.microarch == "Sandy Bridge"
+
+    def test_atom_cache_hierarchy(self):
+        levels = ATOM_C2758.core.hierarchy.levels
+        assert [lv.name for lv in levels] == ["L1d", "L2"]  # two-level
+        assert levels[0].size_bytes == 24 * KIB
+        assert levels[1].size_bytes == 1 * MIB
+
+    def test_xeon_cache_hierarchy(self):
+        levels = XEON_E5_2420.core.hierarchy.levels
+        assert [lv.name for lv in levels] == ["L1d", "L2", "L3"]
+        assert levels[0].size_bytes == 32 * KIB
+        assert levels[1].size_bytes == 256 * KIB
+        assert levels[2].size_bytes == 15 * MIB
+
+    def test_core_counts(self):
+        assert ATOM_C2758.cores_per_node == 8
+        assert XEON_E5_2420.cores_per_chip == 6
+        assert XEON_E5_2420.cores_per_node == 12  # two sockets
+
+    def test_issue_widths(self):
+        assert XEON_E5_2420.core.issue_width == 4  # "up to 4 per cycle"
+        assert ATOM_C2758.core.issue_width == 2    # "limited to 2"
+
+    def test_same_dram_size(self):
+        assert ATOM_C2758.dram_bytes == XEON_E5_2420.dram_bytes == 8 * 1024 ** 3
+
+    def test_frequency_range_covers_paper_sweep(self):
+        for spec in (ATOM_C2758, XEON_E5_2420):
+            for f in (1.2, 1.4, 1.6, 1.8):
+                assert spec.dvfs.supports(f * GHZ)
+
+
+class TestDieAreas:
+    def test_paper_areas(self):
+        assert ATOM_C2758.chip_area_mm2 == 160.0
+        assert XEON_E5_2420.chip_area_mm2 == 216.0
+
+    def test_area_per_core(self):
+        assert ATOM_C2758.area_per_core_mm2 == pytest.approx(20.0)
+        assert XEON_E5_2420.area_per_core_mm2 == pytest.approx(36.0)
+
+    def test_eight_xeon_cores_span_both_sockets(self):
+        assert XEON_E5_2420.area_for_cores(8) == pytest.approx(288.0)
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            ATOM_C2758.area_for_cores(0)
+
+
+class TestRelativeCharacter:
+    def test_big_core_hides_more_stalls(self):
+        assert XEON_E5_2420.core.stall_hide > ATOM_C2758.core.stall_hide
+        assert XEON_E5_2420.core.mlp > ATOM_C2758.core.mlp
+
+    def test_big_core_overlaps_more_io(self):
+        assert XEON_E5_2420.core.io_overlap > ATOM_C2758.core.io_overlap
+
+    def test_little_core_io_path_slower(self):
+        assert (ATOM_C2758.io_path_bw_per_ghz
+                < XEON_E5_2420.io_path_bw_per_ghz)
+        assert ATOM_C2758.core.io_path_overhead > 1.0
+
+    def test_big_core_burns_more_power(self):
+        assert (XEON_E5_2420.power.core_dynamic_coeff
+                > ATOM_C2758.power.core_dynamic_coeff)
+        assert XEON_E5_2420.power.base_watts > ATOM_C2758.power.base_watts
+
+    def test_atom_dram_partly_core_clocked(self):
+        assert ATOM_C2758.core.hierarchy.dram_latency_cycles > 0
+        assert XEON_E5_2420.core.hierarchy.dram_latency_cycles == 0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert machine("atom") is ATOM_C2758
+        assert machine("xeon") is XEON_E5_2420
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            machine("epyc")
+
+    def test_registry_contents(self):
+        assert set(MACHINES) == {"atom", "xeon"}
+
+    def test_framework_profile_is_branchy_low_ilp(self):
+        assert FRAMEWORK_PROFILE.ilp < 1.5
+        assert FRAMEWORK_PROFILE.frontend_mpki > 10

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_job_arguments(self):
+        args = build_parser().parse_args(
+            ["job", "--machine", "atom", "--workload", "sort",
+             "--freq", "1.4", "--block-mb", "256", "--data-gb", "2"])
+        assert args.machine == "atom"
+        assert args.freq == pytest.approx(1.4)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "F14" in out and "wordcount" in out
+
+    def test_job(self, capsys):
+        code = main(["job", "--machine", "xeon", "--workload", "wordcount",
+                     "--data-gb", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "EDP" in out
+
+    def test_job_unknown_workload(self, capsys):
+        assert main(["job", "--machine", "xeon",
+                     "--workload", "nope"]) == 2
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "F99"]) == 2
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "F1"]) == 0
+        out = capsys.readouterr().out
+        assert "== F1" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "f1"]) == 0
+
+
+class TestReport:
+    def test_report_subset(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        from repro.analysis.report import generate_report
+        from repro.core.characterization import Characterizer
+        text = generate_report(Characterizer(), experiment_ids=["F1"],
+                               include_validation=False)
+        assert "## F1" in text
+        assert "Avg_Hadoop" in text
+
+    def test_report_unknown_id(self):
+        from repro.analysis.report import generate_report
+        import pytest
+        with pytest.raises(KeyError):
+            generate_report(experiment_ids=["F99"])
+
+    def test_report_cli_writes_file(self, tmp_path, capsys, monkeypatch):
+        target = tmp_path / "r.md"
+        # Full report is slow; patch the registry down to one experiment.
+        import repro.analysis.report as report_mod
+        from repro.analysis.experiments import fig1_ipc
+        monkeypatch.setattr(report_mod, "ALL_EXPERIMENTS", {"F1": fig1_ipc})
+        assert main(["report", "-o", str(target)]) == 0
+        assert target.exists()
+        assert "F1" in target.read_text()

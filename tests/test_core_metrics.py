@@ -1,0 +1,106 @@
+"""Unit and property tests for the EDxP / EDxAP metric family."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (CostPoint, ed2ap, ed2p, ed3p, edap, edp,
+                                edxap, edxp, geomean, normalize, speedup)
+
+pos = st.floats(min_value=1e-6, max_value=1e9)
+
+
+class TestEdxpFamily:
+    def test_edp_definition(self):
+        assert edp(10.0, 3.0) == pytest.approx(30.0)
+
+    def test_exponent_family(self):
+        assert ed2p(10.0, 3.0) == pytest.approx(90.0)
+        assert ed3p(10.0, 3.0) == pytest.approx(270.0)
+
+    def test_area_weighting(self):
+        assert edap(10.0, 3.0, 2.0) == pytest.approx(60.0)
+        assert ed2ap(10.0, 3.0, 2.0) == pytest.approx(180.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edxp(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            edxp(1.0, -1.0)
+        with pytest.raises(ValueError):
+            edxp(1.0, 1.0, x=-1)
+        with pytest.raises(ValueError):
+            edxap(1.0, 1.0, 0.0)
+
+    @given(pos, pos)
+    def test_edxp_recursion(self, e, t):
+        """ED^(x+1)P == ED^xP * t."""
+        assert edxp(e, t, 2) == pytest.approx(edxp(e, t, 1) * t, rel=1e-9)
+        assert edxp(e, t, 3) == pytest.approx(edxp(e, t, 2) * t, rel=1e-9)
+
+    @given(pos, pos, pos)
+    def test_ratio_invariance_under_area(self, e, t, a):
+        """Area scaling cancels in same-area comparisons."""
+        base = edxap(e, t, a) / edxap(2 * e, t, a)
+        assert base == pytest.approx(0.5, rel=1e-9)
+
+
+class TestHelpers:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_geomean_known(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_validation(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(pos, min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(pos, min_size=1, max_size=10), pos)
+    def test_geomean_scales_linearly(self, values, k):
+        scaled = geomean([v * k for v in values])
+        assert scaled == pytest.approx(geomean(values) * k, rel=1e-6)
+
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, reference="a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_validation(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, reference="z")
+        with pytest.raises(ValueError):
+            normalize({"a": 0.0}, reference="a")
+
+
+class TestCostPoint:
+    def _point(self):
+        return CostPoint("cfg", energy_j=10.0, delay_s=3.0, area_mm2=2.0)
+
+    def test_properties(self):
+        p = self._point()
+        assert p.edp == pytest.approx(30.0)
+        assert p.ed2p == pytest.approx(90.0)
+        assert p.ed3p == pytest.approx(270.0)
+        assert p.edap == pytest.approx(60.0)
+        assert p.ed2ap == pytest.approx(180.0)
+
+    def test_metric_lookup_case_insensitive(self):
+        p = self._point()
+        assert p.metric("edp") == p.edp
+        assert p.metric("ED2AP") == p.ed2ap
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            self._point().metric("FLOPS")

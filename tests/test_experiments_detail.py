@@ -1,0 +1,108 @@
+"""Detailed data-level checks on selected experiment drivers.
+
+The benchmarks assert shapes; these tests pin the *structure* of the
+returned data so downstream consumers (report generator, CLI, plotting
+users) can rely on it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (DATA_SIZES_GB, FREQS,
+                                        fig5_edp_real, fig6_edp_micro,
+                                        fig13_phase_edp_datasize,
+                                        fig14_accel_sweep, table3_cost)
+from repro.core.acceleration import PAPER_ACCEL_RATES
+from repro.core.cost import PAPER_CORE_COUNTS
+from repro.workloads.base import MICRO_BENCHMARKS, REAL_WORLD
+
+
+class TestFig5Data:
+    @pytest.fixture(scope="class")
+    def exp(self, characterizer):
+        return fig5_edp_real(characterizer)
+
+    def test_series_keys(self, exp):
+        for wl in REAL_WORLD:
+            for machine in ("atom", "xeon"):
+                assert (wl, machine, "entire") in exp.data["series"]
+
+    def test_series_length_matches_freqs(self, exp):
+        for values in exp.data["series"].values():
+            assert len(values) == len(FREQS)
+
+    def test_normalization_reference(self, exp):
+        """Values are normalized to Atom @ 1.2 GHz / 512 MB, so the Atom
+        series starts exactly at 1.0."""
+        for wl in REAL_WORLD:
+            atom = exp.data["series"][(wl, "atom", "entire")]
+            assert atom[0] == pytest.approx(1.0)
+
+    def test_all_values_positive_finite(self, exp):
+        for values in exp.data["series"].values():
+            assert all(v > 0 and math.isfinite(v) for v in values)
+
+
+class TestFig6Data:
+    def test_sort_has_no_reduce_but_has_entire(self, characterizer):
+        exp = fig6_edp_micro(characterizer)
+        assert ("sort", "atom", "entire") in exp.data["series"]
+        for wl in MICRO_BENCHMARKS:
+            assert (wl, "xeon", "entire") in exp.data["series"]
+
+
+class TestFig13Data:
+    def test_grid_covers_all_sizes(self, characterizer):
+        exp = fig13_phase_edp_datasize(characterizer)
+        grid = exp.data["grid"]
+        for machine in ("atom", "xeon"):
+            for wl in MICRO_BENCHMARKS + REAL_WORLD:
+                for gb in DATA_SIZES_GB:
+                    assert (machine, wl, gb) in grid
+
+
+class TestFig14Data:
+    @pytest.fixture(scope="class")
+    def exp(self, characterizer):
+        return fig14_accel_sweep(characterizer)
+
+    def test_rates_match_paper_sweep(self, exp):
+        for wl, points in exp.data["series"].items():
+            assert tuple(r for r, _v in points) == PAPER_ACCEL_RATES
+
+    def test_rate_one_is_neutral(self, exp):
+        """With no acceleration Eq. (1) must be ~1 by construction."""
+        for wl, points in exp.data["series"].items():
+            assert points[0][1] == pytest.approx(1.0, abs=0.02), wl
+
+
+class TestTable3Data:
+    @pytest.fixture(scope="class")
+    def exp(self, characterizer):
+        return table3_cost(characterizer)
+
+    def test_all_workloads_tabulated(self, exp):
+        assert set(exp.data["tables"]) == set(MICRO_BENCHMARKS + REAL_WORLD)
+
+    def test_rows_cover_core_sweep(self, exp):
+        for table in exp.data["tables"].values():
+            for machine in ("atom", "xeon"):
+                assert len(table.row("EDP", machine)) == len(
+                    PAPER_CORE_COUNTS)
+
+    def test_metric_ordering_within_cell(self, exp):
+        """For execution times above one second, ED2P > EDP and
+        ED2AP > EDAP by construction."""
+        for table in exp.data["tables"].values():
+            for cell in table.cells.values():
+                if cell.execution_time_s > 1.0:
+                    assert cell.metric("ED2P") > cell.metric("EDP")
+                    assert cell.metric("ED2AP") > cell.metric("EDAP")
+
+    def test_render_contains_all_metrics(self, exp):
+        text = exp.render()
+        for metric in ("EDP", "ED2P", "EDAP", "ED2AP"):
+            assert metric in text

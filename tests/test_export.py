@@ -1,0 +1,67 @@
+"""Tests for the CSV export utility."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.experiments import (fig5_edp_real, fig9_edp_ratio_block,
+                                        fig14_accel_sweep)
+from repro.analysis.export import (experiment_to_csv, grid_rows,
+                                   series_rows, write_experiment_csv)
+from repro.core.characterization import RunKey
+
+
+class TestSeriesRows:
+    def test_plain_value_lists(self):
+        rows = series_rows({("wc", "atom"): [1.0, 2.0]})
+        assert rows == [["wc", "atom", 0, 1.0], ["wc", "atom", 1, 2.0]]
+
+    def test_xy_tuple_payloads(self):
+        rows = series_rows({"wc": ((32, 64), (1.5, 1.7))})
+        assert rows == [["wc", 32, 1.5], ["wc", 64, 1.7]]
+
+    def test_point_list_payloads(self):
+        rows = series_rows({"wc": [(1, 0.9), (2, 0.8)]})
+        assert rows == [["wc", 1, 0.9], ["wc", 2, 0.8]]
+
+
+class TestGridRows:
+    def test_flattens_job_results(self, characterizer):
+        grid = {("atom", "wordcount"): characterizer.run(
+            RunKey("atom", "wordcount"))}
+        rows = grid_rows(grid)
+        assert len(rows) == 1
+        assert rows[0][:2] == ["atom", "wordcount"]
+        assert rows[0][2] > 0  # execution time
+
+    def test_rejects_non_results(self):
+        with pytest.raises(TypeError):
+            grid_rows({("a",): 42})
+
+
+class TestExperimentExport:
+    def test_series_experiment(self, characterizer):
+        exp = fig14_accel_sweep(characterizer)
+        payloads = experiment_to_csv(exp)
+        assert "series" in payloads
+        parsed = list(csv.reader(io.StringIO(payloads["series"])))
+        header, rows = parsed[0], parsed[1:]
+        assert header[-2:] == ["x", "y"]
+        assert len(rows) > 20  # 6 workloads x 9 rates
+
+    def test_block_series_experiment(self, characterizer):
+        exp = fig9_edp_ratio_block(characterizer)
+        payloads = experiment_to_csv(exp)
+        assert "series" in payloads
+
+    def test_write_to_directory(self, tmp_path, characterizer):
+        exp = fig5_edp_real(characterizer)
+        written = write_experiment_csv(exp, tmp_path)
+        assert written
+        for path in written:
+            assert path.exists()
+            assert path.name.startswith("F5_")
+            assert len(path.read_text().splitlines()) > 1

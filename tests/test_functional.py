@@ -1,0 +1,162 @@
+"""Unit and property tests for the functional MapReduce runtime."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.functional import (FunctionalJob, LocalRuntime,
+                                        hash_partitioner, identity_mapper,
+                                        identity_reducer, run_pipeline)
+
+words = st.text(alphabet="abcde", min_size=1, max_size=4)
+
+
+def _wc_job(num_reducers=2, combiner=True):
+    def mapper(_k, line):
+        for w in line.split():
+            yield (w, 1)
+
+    def reducer(word, counts):
+        yield (word, sum(counts))
+
+    return FunctionalJob("wc", mapper, reducer,
+                         combiner=reducer if combiner else None,
+                         num_reducers=num_reducers)
+
+
+class TestSemantics:
+    def test_wordcount_matches_counter(self):
+        lines = ["a b a", "c b a", "c c c"]
+        runtime = LocalRuntime(num_mappers=2)
+        output, stats = runtime.run(_wc_job(), [(i, l) for i, l in
+                                                enumerate(lines)])
+        expected = Counter(" ".join(lines).split())
+        assert dict(output) == dict(expected)
+        assert stats.input_records == 3
+        assert stats.map_output_records == 9
+
+    def test_identity_job_preserves_records(self):
+        records = [(i, f"v{i}") for i in range(20)]
+        job = FunctionalJob("id", identity_mapper, identity_reducer,
+                            num_reducers=3)
+        output, stats = LocalRuntime().run(job, records)
+        assert sorted(output) == sorted(records)
+        assert stats.output_records == 20
+
+    def test_no_reducer_passes_pairs_through(self):
+        records = [(1, "a"), (2, "b")]
+        job = FunctionalJob("map-only", identity_mapper, reducer=None)
+        output, _ = LocalRuntime().run(job, records)
+        assert sorted(output) == records
+
+    def test_reducer_sees_grouped_values(self):
+        seen = {}
+
+        def mapper(_k, v):
+            yield (v % 2, v)
+
+        def reducer(key, values):
+            seen[key] = sorted(values)
+            yield (key, len(values))
+
+        job = FunctionalJob("group", mapper, reducer, num_reducers=2)
+        LocalRuntime().run(job, [(i, i) for i in range(6)])
+        assert seen[0] == [0, 2, 4]
+        assert seen[1] == [1, 3, 5]
+
+    def test_output_sorted_within_reducer(self):
+        job = FunctionalJob("sorted", identity_mapper, identity_reducer,
+                            num_reducers=1)
+        records = [(k, None) for k in (5, 3, 9, 1)]
+        output, _ = LocalRuntime().run(job, records)
+        assert [k for k, _ in output] == [1, 3, 5, 9]
+
+    def test_custom_partitioner_routes_keys(self):
+        routed = []
+
+        def reducer(key, values):
+            routed.append(key)
+            yield (key, len(values))
+
+        job = FunctionalJob("routed", identity_mapper, reducer,
+                            partitioner=lambda k, n: 0, num_reducers=4)
+        LocalRuntime().run(job, [(i, i) for i in range(5)])
+        assert sorted(routed) == list(range(5))
+
+    def test_bad_mapper_output_rejected(self):
+        def mapper(_k, v):
+            yield v  # not a pair
+
+        job = FunctionalJob("bad", mapper, identity_reducer)
+        with pytest.raises(TypeError):
+            LocalRuntime().run(job, [(0, "x")])
+
+
+class TestSpills:
+    def test_small_buffer_spills_more(self):
+        records = [(i, "w " * 10) for i in range(50)]
+        big = LocalRuntime(num_mappers=1, sort_buffer_records=10 ** 6)
+        small = LocalRuntime(num_mappers=1, sort_buffer_records=16)
+        _, stats_big = big.run(_wc_job(), records)
+        _, stats_small = small.run(_wc_job(), records)
+        assert stats_small.spills > stats_big.spills
+
+    def test_combiner_shrinks_shuffle(self):
+        records = [(i, "a a a a b") for i in range(30)]
+        _, with_c = LocalRuntime(num_mappers=2).run(_wc_job(combiner=True),
+                                                    records)
+        _, without = LocalRuntime(num_mappers=2).run(_wc_job(combiner=False),
+                                                     records)
+        assert with_c.shuffle_records < without.shuffle_records
+
+    @given(st.lists(st.lists(words, max_size=6).map(" ".join), max_size=15),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=4))
+    def test_result_invariant_to_parallelism(self, lines, mappers, reducers):
+        """Output must not depend on split/reducer counts."""
+        records = [(i, l) for i, l in enumerate(lines)]
+        base, _ = LocalRuntime(num_mappers=1).run(_wc_job(1), records)
+        out, _ = LocalRuntime(num_mappers=mappers).run(_wc_job(reducers),
+                                                       records)
+        assert sorted(base) == sorted(out)
+
+    @given(st.lists(st.lists(words, max_size=6).map(" ".join), max_size=15),
+           st.integers(min_value=4, max_value=64))
+    def test_combiner_and_spills_preserve_totals(self, lines, buffer_size):
+        records = [(i, l) for i, l in enumerate(lines)]
+        runtime = LocalRuntime(num_mappers=2, sort_buffer_records=buffer_size)
+        output, _ = runtime.run(_wc_job(), records)
+        assert dict(output) == dict(Counter(" ".join(lines).split()))
+
+
+class TestPipeline:
+    def test_chained_jobs(self):
+        def invert(word, count):
+            yield (-count, word)
+
+        job1 = _wc_job(num_reducers=2)
+        job2 = FunctionalJob("invert", invert, identity_reducer,
+                             num_reducers=1)
+        records = [(0, "a a a b b c")]
+        output, stats = run_pipeline(LocalRuntime(), [job1, job2], records)
+        assert output[0] == (-3, "a")  # most frequent first
+        assert len(stats) == 2
+
+
+class TestValidation:
+    def test_runtime_validation(self):
+        with pytest.raises(ValueError):
+            LocalRuntime(num_mappers=0)
+        with pytest.raises(ValueError):
+            LocalRuntime(sort_buffer_records=0)
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            FunctionalJob("bad", identity_mapper, num_reducers=0)
+
+    def test_hash_partitioner_range(self):
+        for key in ("a", 1, (2, "b")):
+            assert 0 <= hash_partitioner(key, 7) < 7

@@ -1,0 +1,128 @@
+"""Integration tests for the simulated HDFS data path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.presets import ATOM_C2758, XEON_E5_2420
+from repro.cluster.server import Cluster
+from repro.hdfs.filesystem import HDFS
+from repro.sim.engine import Simulator
+
+MB = 1024 * 1024
+
+
+def _cluster(spec=XEON_E5_2420, n=3, freq=1.8):
+    sim = Simulator()
+    return sim, Cluster.homogeneous(sim, spec, n, freq)
+
+
+def _drive(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    assert proc.ok
+    return proc.value
+
+
+class TestSetup:
+    def test_load_input_registers_blocks(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        blocks = hdfs.load_input("data", 256 * MB)
+        assert len(blocks) == 4
+        assert hdfs.num_map_tasks("data") == 4
+
+    def test_invalid_block_size(self):
+        sim, cluster = _cluster()
+        with pytest.raises(ValueError):
+            HDFS(cluster, 0)
+
+    def test_invalid_cache_fraction(self):
+        sim, cluster = _cluster()
+        with pytest.raises(ValueError):
+            HDFS(cluster, 64 * MB, page_cache_hit=1.0)
+
+
+class TestReads:
+    def test_local_read_time_bounded_by_disk_and_iopath(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        node = cluster.nodes[0]
+        nbytes = 64 * MB
+        elapsed = _drive(sim, hdfs.read_span(node.name, node, nbytes))
+        floor = max(node.disk.service_time(nbytes),
+                    node.iopath.service_time(nbytes))
+        assert elapsed == pytest.approx(floor, rel=0.01)
+
+    def test_remote_read_slower_than_local(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        reader = cluster.nodes[0]
+        local = _drive(sim, hdfs.read_span(reader.name, reader, 64 * MB))
+        sim2, cluster2 = _cluster()
+        hdfs2 = HDFS(cluster2, 64 * MB)
+        reader2 = cluster2.nodes[0]
+        remote = _drive(sim2, hdfs2.read_span("xeon1", reader2, 64 * MB))
+        assert remote > local
+
+    def test_page_cache_accelerates_reads(self):
+        def read_time(hit):
+            sim, cluster = _cluster()
+            hdfs = HDFS(cluster, 64 * MB, page_cache_hit=hit)
+            node = cluster.nodes[0]
+            return _drive(sim, hdfs.read_span(node.name, node, 64 * MB))
+        assert read_time(0.75) < read_time(0.0)
+
+    def test_read_block_uses_replica(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        block = hdfs.load_input("data", 64 * MB)[0]
+        elapsed = _drive(sim, hdfs.read_block(block, cluster.nodes[0]))
+        assert elapsed > 0
+
+    def test_atom_iopath_binds(self):
+        """On the little core the CPU-coupled I/O path, not the disk,
+        limits local reads — the paper's Sort mechanism."""
+        sim, cluster = _cluster(spec=ATOM_C2758)
+        hdfs = HDFS(cluster, 64 * MB)
+        node = cluster.nodes[0]
+        nbytes = 256 * MB
+        elapsed = _drive(sim, hdfs.read_span(node.name, node, nbytes,
+                                             io_factor=2.0))
+        disk_only = node.disk.service_time(nbytes)
+        assert elapsed > 2 * disk_only
+
+
+class TestWrites:
+    def test_replicated_write_touches_other_nodes(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB, replication=3)
+        writer = cluster.nodes[0]
+        _drive(sim, hdfs.write("out", 64 * MB, writer))
+        touched = {iv.node for iv in cluster.trace.filter(device="disk")}
+        assert len(touched) == 3
+
+    def test_replication_override(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB, replication=3)
+        writer = cluster.nodes[0]
+        _drive(sim, hdfs.write("out", 64 * MB, writer, replication=1))
+        touched = {iv.node for iv in cluster.trace.filter(device="disk")}
+        assert touched == {writer.name}
+
+    def test_write_local_records_trace(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        node = cluster.nodes[0]
+        _drive(sim, hdfs.write_local(node, 32 * MB, kind="map.spill"))
+        spills = cluster.trace.filter(device="disk", kind="map.spill")
+        assert len(spills) == 1
+        assert spills[0].duration == pytest.approx(
+            node.disk.service_time(32 * MB))
+
+    def test_trace_phases_tagged(self):
+        sim, cluster = _cluster()
+        hdfs = HDFS(cluster, 64 * MB)
+        node = cluster.nodes[0]
+        _drive(sim, hdfs.read_span(node.name, node, 8 * MB, phase="reduce"))
+        assert all(iv.phase == "reduce" for iv in cluster.trace)

@@ -1,0 +1,98 @@
+"""Cross-workload invariants of the performance simulator.
+
+Parametrized over every registered application (including extensions):
+the structural truths that must hold regardless of calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.characterization import RunKey
+from repro.mapreduce.driver import simulate_job
+from repro.workloads.base import (EXTENSIONS, MICRO_BENCHMARKS, REAL_WORLD,
+                                  workload)
+
+ALL_APPS = MICRO_BENCHMARKS + REAL_WORLD + EXTENSIONS
+
+
+def _gb(wl: str) -> float:
+    return 10.0 if wl in REAL_WORLD else 1.0
+
+
+@pytest.mark.parametrize("wl", ALL_APPS)
+class TestPerWorkloadInvariants:
+    def test_big_core_faster(self, characterizer, wl):
+        atom = characterizer.run(RunKey("atom", wl,
+                                        data_per_node_gb=_gb(wl)))
+        xeon = characterizer.run(RunKey("xeon", wl,
+                                        data_per_node_gb=_gb(wl)))
+        assert xeon.execution_time_s < atom.execution_time_s
+
+    def test_little_core_lower_power(self, characterizer, wl):
+        atom = characterizer.run(RunKey("atom", wl,
+                                        data_per_node_gb=_gb(wl)))
+        xeon = characterizer.run(RunKey("xeon", wl,
+                                        data_per_node_gb=_gb(wl)))
+        assert atom.dynamic_power_w < xeon.dynamic_power_w
+
+    def test_phase_times_non_negative_and_complete(self, characterizer, wl):
+        for machine in ("atom", "xeon"):
+            r = characterizer.run(RunKey(machine, wl,
+                                         data_per_node_gb=_gb(wl)))
+            assert all(v >= 0 for v in r.phase_seconds.values())
+            assert sum(r.phase_seconds.values()) == pytest.approx(
+                r.execution_time_s, rel=1e-6)
+
+    def test_stage_count_matches_spec(self, characterizer, wl):
+        r = characterizer.run(RunKey("xeon", wl, data_per_node_gb=_gb(wl)))
+        assert len(r.stages) == len(workload(wl).stages)
+
+    def test_reduce_presence_matches_spec(self, characterizer, wl):
+        r = characterizer.run(RunKey("xeon", wl, data_per_node_gb=_gb(wl)))
+        if workload(wl).has_reduce:
+            assert r.phase_time("reduce") > 0
+            assert r.counters.reduce_tasks > 0
+        else:
+            assert r.phase_time("reduce") == 0
+            assert r.counters.reduce_tasks == 0
+
+    def test_ipc_physical(self, characterizer, wl):
+        atom = characterizer.run(RunKey("atom", wl,
+                                        data_per_node_gb=_gb(wl)))
+        xeon = characterizer.run(RunKey("xeon", wl,
+                                        data_per_node_gb=_gb(wl)))
+        assert 0 < atom.ipc <= 2.0   # issue width of the little core
+        assert 0 < xeon.ipc <= 4.0   # issue width of the big core
+        assert xeon.ipc > atom.ipc
+
+    def test_energy_consistent_with_power(self, characterizer, wl):
+        r = characterizer.run(RunKey("atom", wl, data_per_node_gb=_gb(wl)))
+        assert r.dynamic_energy_j == pytest.approx(
+            r.dynamic_power_w * r.execution_time_s, rel=1e-9)
+
+
+class TestClusterScaling:
+    def test_weak_scaling_roughly_flat(self):
+        """Same data per node, more nodes: time stays in the same
+        ballpark (shuffle grows, map work per node constant)."""
+        three = simulate_job("xeon", "wordcount", n_nodes=3,
+                             data_per_node_gb=1.0)
+        six = simulate_job("xeon", "wordcount", n_nodes=6,
+                           data_per_node_gb=1.0)
+        assert 0.6 < six.execution_time_s / three.execution_time_s < 1.6
+
+    def test_strong_scaling_helps(self):
+        """Same total data, more nodes: the job finishes sooner."""
+        three = simulate_job("xeon", "wordcount", n_nodes=3,
+                             data_per_node_gb=2.0)
+        six = simulate_job("xeon", "wordcount", n_nodes=6,
+                           data_per_node_gb=1.0)
+        assert six.execution_time_s < three.execution_time_s
+
+    def test_more_nodes_more_energy_per_second(self):
+        three = simulate_job("atom", "grep", n_nodes=3,
+                             data_per_node_gb=1.0)
+        six = simulate_job("atom", "grep", n_nodes=6,
+                           data_per_node_gb=1.0)
+        assert six.dynamic_power_w > three.dynamic_power_w

@@ -1,0 +1,134 @@
+"""Integration tests for the job driver (simulate_job)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.characterization import RunKey
+from repro.mapreduce.config import DEFAULT_CONF
+from repro.mapreduce.driver import simulate_job
+
+GB = 1024 ** 3
+MB = 1024 * 1024
+
+
+class TestBasics:
+    def test_result_fields(self, wc_results):
+        r = wc_results["xeon"]
+        assert r.workload == "wordcount"
+        assert r.machine == "xeon"
+        assert r.n_nodes == 3
+        assert r.execution_time_s > 0
+        assert r.dynamic_energy_j > 0
+        assert 0 < r.ipc < 4
+
+    def test_phase_times_cover_run(self, wc_results):
+        r = wc_results["xeon"]
+        total = sum(r.phase_seconds.values())
+        assert total == pytest.approx(r.execution_time_s, rel=1e-6)
+        assert r.phase_time("map") > 0
+        assert r.phase_time("reduce") > 0
+        assert r.phase_time("other") > 0
+
+    def test_phase_fractions_sum_to_one(self, wc_results):
+        r = wc_results["atom"]
+        total = sum(r.phase_fraction(p) for p in ("map", "reduce", "other"))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_map_task_count_law(self, characterizer):
+        """num map tasks == ceil(input / block size) (§3.1.1)."""
+        r = characterizer.run(RunKey("xeon", "wordcount",
+                                     block_size_mb=128.0,
+                                     data_per_node_gb=1.0))
+        expected = math.ceil(3 * GB / (128 * MB))
+        assert r.counters.map_tasks == expected
+
+    def test_determinism(self):
+        a = simulate_job("atom", "grep", data_per_node_gb=0.5)
+        b = simulate_job("atom", "grep", data_per_node_gb=0.5)
+        assert a.execution_time_s == b.execution_time_s
+        assert a.dynamic_energy_j == b.dynamic_energy_j
+
+    def test_invalid_workload(self):
+        with pytest.raises(KeyError):
+            simulate_job("atom", "matrix_multiply")
+
+    def test_invalid_machine(self):
+        with pytest.raises(KeyError):
+            simulate_job("sparc", "wordcount")
+
+    def test_invalid_data_size(self):
+        with pytest.raises(ValueError):
+            simulate_job("atom", "wordcount", data_per_node_gb=0.0)
+
+
+class TestStructure:
+    def test_sort_has_no_reduce_phase(self, sort_results):
+        """The paper's Sort runs map-only (§3.1.1 note)."""
+        for r in sort_results.values():
+            assert r.phase_time("reduce") == 0.0
+            assert r.counters.reduce_tasks == 0
+
+    def test_grep_runs_two_stages(self, characterizer):
+        r = characterizer.run(RunKey("xeon", "grep"))
+        assert [s.stage for s in r.stages] == ["search", "sort"]
+        assert r.stages[1].input_bytes < r.stages[0].input_bytes
+
+    def test_terasort_sample_stage_is_cheap(self, characterizer):
+        r = characterizer.run(RunKey("xeon", "terasort"))
+        sample, sort = r.stages
+        assert sample.stage == "sample"
+        assert sample.total_s < sort.total_s
+
+    def test_energy_phases_match_time_phases(self, wc_results):
+        r = wc_results["xeon"]
+        for phase in ("map", "reduce"):
+            assert r.phase_energy(phase) > 0
+
+    def test_counters_flow(self, wc_results):
+        c = wc_results["xeon"].counters
+        assert c.input_bytes == pytest.approx(3 * GB, rel=0.01)
+        assert 0 < c.map_output_bytes < c.input_bytes  # combiner shrinks
+        assert c.shuffle_bytes == pytest.approx(c.map_output_bytes, rel=0.01)
+        assert c.spills >= c.map_tasks
+
+
+class TestConfiguration:
+    def test_more_data_takes_longer(self, characterizer):
+        small = characterizer.run(RunKey("xeon", "wordcount",
+                                         data_per_node_gb=1.0))
+        big = characterizer.run(RunKey("xeon", "wordcount",
+                                       data_per_node_gb=10.0))
+        assert big.execution_time_s > 2 * small.execution_time_s
+
+    def test_fewer_cores_slower(self, characterizer):
+        full = characterizer.run(RunKey("atom", "wordcount",
+                                        cores_per_node=8,
+                                        map_slots_per_node=8,
+                                        data_per_node_gb=4.0,
+                                        block_size_mb=512.0))
+        two = characterizer.run(RunKey("atom", "wordcount",
+                                       cores_per_node=2,
+                                       map_slots_per_node=2,
+                                       data_per_node_gb=4.0,
+                                       block_size_mb=512.0))
+        assert two.execution_time_s > full.execution_time_s
+
+    def test_higher_frequency_faster(self, characterizer):
+        slow = characterizer.run(RunKey("atom", "terasort", freq_ghz=1.2))
+        fast = characterizer.run(RunKey("atom", "terasort", freq_ghz=1.8))
+        assert fast.execution_time_s < slow.execution_time_s
+
+    def test_single_node_cluster_works(self):
+        r = simulate_job("xeon", "wordcount", n_nodes=1,
+                         data_per_node_gb=0.5)
+        assert r.n_nodes == 1
+        assert r.execution_time_s > 0
+
+    def test_custom_conf_threads_through(self):
+        conf = DEFAULT_CONF.override(replication=1, heartbeat_s=0.0)
+        r = simulate_job("xeon", "sort", conf=conf, data_per_node_gb=0.5)
+        base = simulate_job("xeon", "sort", data_per_node_gb=0.5)
+        assert r.execution_time_s < base.execution_time_s  # less replication

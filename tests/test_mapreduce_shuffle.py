@@ -1,0 +1,100 @@
+"""Unit and property tests for spill/merge planning."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.shuffle import (MergePlan, SpillPlan, plan_reduce_merge,
+                                     plan_spills)
+
+MB = 1024 * 1024
+
+
+class TestPlanSpills:
+    def test_fits_in_buffer_single_spill(self):
+        plan = plan_spills(50 * MB, 100 * MB, sort_ipb=8.0)
+        assert plan.n_spills == 1
+        assert plan.merge_rounds == 0
+        assert plan.disk_write_bytes == pytest.approx(50 * MB)
+        assert plan.disk_read_bytes == 0.0
+
+    def test_overflow_triggers_merge_round(self):
+        plan = plan_spills(250 * MB, 100 * MB, sort_ipb=8.0)
+        assert plan.n_spills == 3
+        assert plan.merge_rounds == 1
+        assert plan.disk_write_bytes == pytest.approx(500 * MB)
+        assert plan.disk_read_bytes == pytest.approx(250 * MB)
+
+    def test_many_runs_need_multiple_rounds(self):
+        plan = plan_spills(2500 * MB, 100 * MB, sort_ipb=8.0, merge_factor=5)
+        assert plan.n_spills == 25
+        assert plan.merge_rounds == 2  # 25 -> 5 -> 1
+
+    def test_zero_output(self):
+        plan = plan_spills(0.0, 100 * MB, sort_ipb=8.0)
+        assert plan.n_spills == 0
+        assert plan.sort_instructions == 0.0
+
+    def test_merge_rounds_increase_sort_cpu(self):
+        one = plan_spills(50 * MB, 100 * MB, sort_ipb=8.0)
+        many = plan_spills(250 * MB, 100 * MB, sort_ipb=8.0)
+        assert (many.sort_instructions / (250 * MB)
+                > one.sort_instructions / (50 * MB))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_spills(-1, 100, 8.0)
+        with pytest.raises(ValueError):
+            plan_spills(100, 0, 8.0)
+        with pytest.raises(ValueError):
+            plan_spills(100, 100, -1)
+        with pytest.raises(ValueError):
+            plan_spills(100, 100, 8.0, merge_factor=1)
+
+    @given(st.floats(min_value=1, max_value=1e10),
+           st.floats(min_value=1e6, max_value=1e9))
+    def test_spill_count_law(self, out, buffer_size):
+        plan = plan_spills(out, buffer_size, sort_ipb=8.0)
+        assert plan.n_spills == max(1, math.ceil(out / buffer_size))
+
+    @given(st.floats(min_value=1, max_value=1e10),
+           st.floats(min_value=1e6, max_value=1e9))
+    def test_disk_traffic_at_least_output(self, out, buffer_size):
+        plan = plan_spills(out, buffer_size, sort_ipb=8.0)
+        assert plan.disk_write_bytes >= out - 1e-6
+        assert plan.disk_read_bytes >= 0
+
+    @given(st.floats(min_value=1e6, max_value=1e10))
+    def test_bigger_buffer_never_more_traffic(self, out):
+        small = plan_spills(out, 64 * MB, sort_ipb=8.0)
+        big = plan_spills(out, 512 * MB, sort_ipb=8.0)
+        assert big.disk_write_bytes <= small.disk_write_bytes + 1e-6
+        assert big.merge_rounds <= small.merge_rounds
+
+
+class TestPlanReduceMerge:
+    def test_in_memory_partition(self):
+        plan = plan_reduce_merge(100 * MB, 140 * MB, sort_ipb=8.0)
+        assert not plan.spills_to_disk
+        assert plan.disk_write_bytes == 0.0
+
+    def test_overflow_round_trips_excess(self):
+        plan = plan_reduce_merge(200 * MB, 140 * MB, sort_ipb=8.0)
+        assert plan.spills_to_disk
+        assert plan.disk_write_bytes == pytest.approx(60 * MB)
+        assert plan.disk_read_bytes == pytest.approx(60 * MB)
+
+    def test_merge_cpu_scales_with_partition(self):
+        small = plan_reduce_merge(10 * MB, 140 * MB, sort_ipb=8.0)
+        big = plan_reduce_merge(100 * MB, 140 * MB, sort_ipb=8.0)
+        assert big.merge_instructions == pytest.approx(
+            10 * small.merge_instructions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_reduce_merge(-1, 140, 8.0)
+        with pytest.raises(ValueError):
+            plan_reduce_merge(100, 0, 8.0)

@@ -1,0 +1,139 @@
+"""Unit tests for the map/reduce task models (driven standalone)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.presets import ATOM_C2758, XEON_E5_2420
+from repro.cluster.server import Cluster
+from repro.hdfs.blocks import Block
+from repro.hdfs.filesystem import HDFS
+from repro.mapreduce.config import DEFAULT_CONF
+from repro.mapreduce.tasks import MapTask, ReduceTask, RunCounters
+from repro.sim.engine import Simulator
+from repro.workloads.base import workload
+
+MB = 1024 * 1024
+
+
+def _setup(spec=XEON_E5_2420, freq=1.8, block_mb=64):
+    sim = Simulator()
+    cluster = Cluster.homogeneous(sim, spec, 3, freq)
+    hdfs = HDFS(cluster, block_mb * MB)
+    return sim, cluster, hdfs
+
+
+def _run_map(spec=XEON_E5_2420, wl="wordcount", block_mb=64, freq=1.8):
+    sim, cluster, hdfs = _setup(spec, freq, block_mb)
+    blocks = hdfs.load_input("in", block_mb * MB)
+    counters = RunCounters()
+    task = MapTask("m0", cluster.nodes[0], hdfs,
+                   workload(wl).stages[0], DEFAULT_CONF, counters,
+                   blocks[0])
+    proc = sim.process(task.run())
+    sim.run()
+    assert proc.ok
+    return sim, task, counters
+
+
+class TestRunCounters:
+    def test_ipc(self):
+        c = RunCounters()
+        c.charge(2e9, 4e9)
+        assert c.ipc == pytest.approx(0.5)
+
+    def test_empty_ipc(self):
+        assert RunCounters().ipc == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RunCounters().charge(-1, 0)
+
+
+class TestMapTask:
+    def test_produces_output(self):
+        _sim, task, counters = _run_map()
+        stage = workload("wordcount").stages[0]
+        assert task.output_bytes == pytest.approx(
+            64 * MB * stage.map_output_ratio)
+        assert counters.map_tasks == 1
+        assert counters.input_bytes == pytest.approx(64 * MB)
+
+    def test_duration_scales_with_block(self):
+        sim_small, _t, _c = _run_map(block_mb=64)
+        sim_big, _t, _c = _run_map(block_mb=256)
+        # Startup is fixed, compute scales ~4x: total should be 2.5-4x.
+        assert 2.2 < sim_big.now / sim_small.now < 4.5
+
+    def test_atom_slower_than_xeon(self):
+        sim_x, _t, _c = _run_map(spec=XEON_E5_2420)
+        sim_a, _t, _c = _run_map(spec=ATOM_C2758)
+        assert sim_a.now > sim_x.now
+
+    def test_higher_frequency_faster(self):
+        slow, _t, _c = _run_map(freq=1.2)
+        fast, _t, _c = _run_map(freq=1.8)
+        assert fast.now < slow.now
+
+    def test_charges_instructions(self):
+        _sim, _task, counters = _run_map()
+        assert counters.instructions > 64 * MB  # > 1 instruction per byte
+        assert counters.cycles > counters.instructions / 4  # IPC <= 4
+
+    def test_sort_spills_more_than_wordcount(self):
+        _s, _t, wc = _run_map(wl="wordcount", block_mb=512)
+        _s, _t, st = _run_map(wl="sort", block_mb=512)
+        assert st.spill_bytes > wc.spill_bytes
+
+
+class TestReduceTask:
+    def _run_reduce(self, partition_mb=64, wl="wordcount"):
+        sim, cluster, hdfs = _setup()
+        counters = RunCounters()
+        sources = {n.name: partition_mb * MB / 3 for n in cluster.nodes}
+        task = ReduceTask("r0", cluster.nodes[0], hdfs,
+                          workload(wl).stages[0], DEFAULT_CONF, counters,
+                          sources)
+        proc = sim.process(task.run())
+        sim.run()
+        assert proc.ok
+        return sim, task, counters
+
+    def test_shuffles_and_writes(self):
+        _sim, task, counters = self._run_reduce()
+        stage = workload("wordcount").stages[0]
+        assert counters.shuffle_bytes == pytest.approx(64 * MB)
+        assert task.output_bytes == pytest.approx(
+            64 * MB * stage.reduce_output_ratio)
+        assert counters.reduce_tasks == 1
+
+    def test_remote_sources_cost_network(self):
+        sim, cluster, hdfs = _setup()
+        counters = RunCounters()
+        remote_only = {"xeon1": 32 * MB, "xeon2": 32 * MB}
+        task = ReduceTask("r0", cluster.nodes[0], hdfs,
+                          workload("wordcount").stages[0], DEFAULT_CONF,
+                          counters, remote_only)
+        sim.process(task.run())
+        sim.run()
+        nic_traffic = sum(iv.duration for iv in cluster.trace.filter(
+            device="nic"))
+        assert nic_traffic > 0
+
+    def test_bigger_partition_takes_longer(self):
+        small, _t, _c = self._run_reduce(partition_mb=32)
+        big, _t, _c = self._run_reduce(partition_mb=256)
+        assert big.now > small.now
+
+    def test_oversized_partition_spills(self):
+        sim, cluster, hdfs = _setup()
+        counters = RunCounters()
+        sources = {"xeon0": 400 * MB}  # above merge_memory (140 MB)
+        task = ReduceTask("r0", cluster.nodes[0], hdfs,
+                          workload("wordcount").stages[0], DEFAULT_CONF,
+                          counters, sources)
+        sim.process(task.run())
+        sim.run()
+        spill_intervals = cluster.trace.filter(device="disk",
+                                               kind="reduce.spill")
+        assert spill_intervals

@@ -1,0 +1,325 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import (AllOf, AnyOf, Event, Interrupt, Process,
+                              SimulationError, Simulator, Timeout)
+
+
+class TestEvent:
+    def test_starts_untriggered(self):
+        sim = Simulator()
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_callback_after_processing_runs_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_fail_carries_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        err = RuntimeError("boom")
+        ev.fail(err)
+        sim.run()
+        assert ev.triggered
+        assert not ev.ok
+
+
+class TestTimeout:
+    def test_fires_at_delay(self):
+        sim = Simulator()
+        times = []
+
+        def proc(sim):
+            yield sim.timeout(2.5)
+            times.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        done = []
+
+        def proc(sim):
+            yield sim.timeout(0.0)
+            done.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert done == [0.0]
+
+    def test_timeout_value_passed_through(self):
+        sim = Simulator()
+        got = []
+
+        def proc(sim):
+            value = yield sim.timeout(1.0, value="payload")
+            got.append(value)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert got == ["payload"]
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1)
+            return "done"
+
+        def parent(sim, out):
+            result = yield sim.process(child(sim))
+            out.append(result)
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == ["done"]
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1)
+            yield sim.timeout(2)
+            yield sim.timeout(3)
+
+        sim.process(proc(sim))
+        assert sim.run() == 6.0
+
+    def test_non_generator_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        sim.process(bad(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cross_simulator_event_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+
+        def proc(sim, other):
+            yield other.timeout(1)
+
+        sim1.process(proc(sim1, sim2))
+        with pytest.raises(SimulationError):
+            sim1.run()
+
+    def test_crash_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def parent(sim, out):
+            try:
+                yield sim.process(child(sim))
+            except ValueError as exc:
+                out.append(str(exc))
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == ["inner"]
+
+    def test_unwaited_crash_raises(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1)
+            raise ValueError("unobserved")
+
+        sim.process(bad(sim))
+        with pytest.raises(ValueError, match="unobserved"):
+            sim.run()
+
+    def test_interrupt_mid_wait(self):
+        sim = Simulator()
+        out = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt as intr:
+                out.append((sim.now, intr.cause))
+
+        proc = sim.process(sleeper(sim))
+
+        def interrupter(sim, target):
+            yield sim.timeout(3)
+            target.interrupt("wakeup")
+
+        sim.process(interrupter(sim, proc))
+        sim.run()
+        assert out == [(3.0, "wakeup")]
+
+    def test_is_alive_lifecycle(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(5)
+
+        p = sim.process(proc(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestCombinators:
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+        out = []
+
+        def proc(sim):
+            values = yield sim.all_of([sim.timeout(1, value="a"),
+                                       sim.timeout(5, value="b"),
+                                       sim.timeout(3, value="c")])
+            out.append((sim.now, values))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert out == [(5.0, ["a", "b", "c"])]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        out = []
+
+        def proc(sim):
+            values = yield sim.all_of([])
+            out.append((sim.now, values))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert out == [(0.0, [])]
+
+    def test_any_of_fires_on_first(self):
+        sim = Simulator()
+        out = []
+
+        def proc(sim):
+            index, value = yield sim.any_of([sim.timeout(4, value="slow"),
+                                             sim.timeout(1, value="fast")])
+            out.append((sim.now, index, value))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert out == [(1.0, 1, "fast")]
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestSimulator:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(10)
+
+        sim.process(proc(sim))
+        assert sim.run(until=4.0) == 4.0
+        assert sim.pending > 0
+        assert sim.run() == 10.0
+
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        sim.timeout(1)
+        sim.timeout(2)
+        # Timeouts schedule themselves; two pending firings exist.
+        assert sim.step()
+        assert sim.now == 1.0
+        assert sim.step()
+        assert sim.now == 2.0
+        assert not sim.step()
+
+    def test_fifo_among_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+
+        def proc(sim, tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            sim.process(proc(sim, tag))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000.0),
+                    min_size=1, max_size=30))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def proc(sim, d):
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        for d in delays:
+            sim.process(proc(sim, d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0),
+                    min_size=1, max_size=20))
+    def test_determinism_across_runs(self, delays):
+        def execute():
+            sim = Simulator()
+            log = []
+
+            def proc(sim, i, d):
+                yield sim.timeout(d)
+                log.append((i, sim.now))
+
+            for i, d in enumerate(delays):
+                sim.process(proc(sim, i, d))
+            sim.run()
+            return log
+
+        assert execute() == execute()

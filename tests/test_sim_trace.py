@@ -1,0 +1,133 @@
+"""Unit and property tests for the interval trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import (Interval, TraceRecorder, merge_intervals,
+                             total_overlap)
+
+spans = st.tuples(st.floats(min_value=0, max_value=1000),
+                  st.floats(min_value=0, max_value=1000)).map(
+                      lambda t: (min(t), max(t)))
+
+
+def _iv(start, end, node="n0", device="core", kind="work", activity=1.0,
+        phase="map"):
+    return Interval(start, end, node, device, kind, activity, None, phase)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert _iv(1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            _iv(5.0, 1.0)
+
+    def test_activity_range_enforced(self):
+        with pytest.raises(ValueError):
+            _iv(0, 1, activity=1.5)
+        with pytest.raises(ValueError):
+            _iv(0, 1, activity=-0.1)
+
+    def test_zero_length_allowed(self):
+        assert _iv(2.0, 2.0).duration == 0.0
+
+
+class TestTraceRecorder:
+    def _populated(self):
+        tr = TraceRecorder()
+        tr.record(_iv(0, 2, node="a", device="core", phase="map"))
+        tr.record(_iv(1, 4, node="a", device="disk", phase="map"))
+        tr.record(_iv(3, 6, node="b", device="core", phase="reduce"))
+        return tr
+
+    def test_len_and_iter(self):
+        tr = self._populated()
+        assert len(tr) == 3
+        assert len(list(tr)) == 3
+
+    def test_filter_by_node(self):
+        tr = self._populated()
+        assert len(tr.filter(node="a")) == 2
+
+    def test_filter_by_device_and_phase(self):
+        tr = self._populated()
+        assert len(tr.filter(device="core", phase="reduce")) == 1
+
+    def test_filter_kind_prefix(self):
+        tr = TraceRecorder()
+        tr.add(0, 1, "n", "core", "map.compute")
+        tr.add(1, 2, "n", "core", "map.sort")
+        tr.add(2, 3, "n", "core", "reduce.user")
+        assert len(tr.filter(kind="map")) == 2
+
+    def test_span(self):
+        tr = self._populated()
+        assert tr.span() == (0.0, 6.0)
+
+    def test_empty_span(self):
+        assert TraceRecorder().span() == (0.0, 0.0)
+
+    def test_busy_time_double_counts_overlap(self):
+        tr = self._populated()
+        assert tr.busy_time(node="a") == pytest.approx(5.0)
+
+    def test_weighted_busy_time(self):
+        tr = TraceRecorder()
+        tr.add(0, 10, "n", "core", "w", activity=0.25)
+        assert tr.weighted_busy_time() == pytest.approx(2.5)
+
+    def test_phase_window_coalesces(self):
+        tr = self._populated()
+        assert tr.phase_window("map") == (0.0, 4.0)
+        assert tr.phase_duration("reduce") == pytest.approx(3.0)
+
+    def test_marks(self):
+        tr = TraceRecorder()
+        tr.mark(1.5, "job submitted")
+        assert tr.marks == [(1.5, "job submitted")]
+
+
+class TestMergeIntervals:
+    def test_disjoint_preserved(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlap_coalesced(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_coalesced(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_empty_spans_dropped(self):
+        assert merge_intervals([(1, 1), (2, 2)]) == []
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1), (0.5, 5.5)]) == [(0, 6)]
+
+    @given(st.lists(spans, max_size=30))
+    def test_output_is_disjoint_and_sorted(self, intervals):
+        merged = merge_intervals(intervals)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        for s, e in merged:
+            assert s < e
+
+    @given(st.lists(spans, max_size=30))
+    def test_merge_is_idempotent(self, intervals):
+        once = merge_intervals(intervals)
+        assert merge_intervals(once) == once
+
+    @given(st.lists(spans, max_size=30))
+    def test_overlap_bounded_by_sum(self, intervals):
+        covered = total_overlap(intervals)
+        raw = sum(e - s for s, e in intervals)
+        assert covered <= raw + 1e-9
+
+    @given(st.lists(spans, max_size=30))
+    def test_overlap_covers_each_span(self, intervals):
+        covered = total_overlap(intervals)
+        longest = max((e - s for s, e in intervals), default=0.0)
+        assert covered >= longest - 1e-9

@@ -1,0 +1,94 @@
+"""Tests for the SPEC/PARSEC traditional-benchmark layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.presets import ATOM_C2758, XEON_E5_2420
+from repro.workloads.traditional import (PARSEC_21, SPEC_CPU2006,
+                                         TraditionalResult, run_traditional,
+                                         suite_average_ipc,
+                                         suite_average_result)
+
+
+class TestSuites:
+    def test_suite_sizes(self):
+        assert len(SPEC_CPU2006) >= 12   # a representative CPU2006 subset
+        assert len(PARSEC_21) >= 10
+
+    def test_canonical_members_present(self):
+        for name in ("mcf", "libquantum", "gcc", "hmmer"):
+            assert name in SPEC_CPU2006
+        for name in ("blackscholes", "canneal", "streamcluster", "x264"):
+            assert name in PARSEC_21
+
+    def test_profiles_named_after_keys(self):
+        for name, profile in SPEC_CPU2006.items():
+            assert profile.name == name
+
+
+class TestRunTraditional:
+    def test_result_fields(self):
+        result = run_traditional(XEON_E5_2420, SPEC_CPU2006["gcc"])
+        assert isinstance(result, TraditionalResult)
+        assert result.seconds > 0
+        assert result.dynamic_power_w > 0
+        assert result.dynamic_energy_j == pytest.approx(
+            result.dynamic_power_w * result.seconds)
+
+    def test_big_core_faster(self):
+        for name in ("gcc", "mcf", "hmmer"):
+            xeon = run_traditional(XEON_E5_2420, SPEC_CPU2006[name])
+            atom = run_traditional(ATOM_C2758, SPEC_CPU2006[name])
+            assert xeon.seconds < atom.seconds, name
+            assert xeon.dynamic_power_w > atom.dynamic_power_w, name
+
+    def test_memory_bound_outlier_gap(self):
+        """mcf's pointer chasing widens the little core's gap vs hmmer."""
+        def gap(name):
+            xeon = run_traditional(XEON_E5_2420, SPEC_CPU2006[name])
+            atom = run_traditional(ATOM_C2758, SPEC_CPU2006[name])
+            return atom.seconds / xeon.seconds
+        assert gap("mcf") > gap("hmmer")
+
+    def test_threads_speed_up_parsec(self):
+        profile = PARSEC_21["blackscholes"]
+        one = run_traditional(XEON_E5_2420, profile, threads=1)
+        four = run_traditional(XEON_E5_2420, profile, threads=4)
+        assert four.seconds == pytest.approx(one.seconds / 4)
+        assert four.dynamic_power_w > one.dynamic_power_w
+
+    def test_threads_clamped_to_cores(self):
+        profile = PARSEC_21["x264"]
+        clamped = run_traditional(ATOM_C2758, profile, threads=100)
+        full = run_traditional(ATOM_C2758, profile, threads=8)
+        assert clamped.seconds == pytest.approx(full.seconds)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            run_traditional(ATOM_C2758, SPEC_CPU2006["gcc"], threads=0)
+
+    def test_frequency_scaling(self):
+        slow = run_traditional(ATOM_C2758, SPEC_CPU2006["hmmer"],
+                               freq_ghz=1.2)
+        fast = run_traditional(ATOM_C2758, SPEC_CPU2006["hmmer"],
+                               freq_ghz=1.8)
+        assert fast.seconds < slow.seconds
+
+
+class TestSuiteAverages:
+    def test_average_ipc_bounds(self):
+        for spec in (ATOM_C2758, XEON_E5_2420):
+            ipc = suite_average_ipc(spec, SPEC_CPU2006)
+            assert 0 < ipc <= spec.core.issue_width
+
+    def test_average_result_triple(self):
+        seconds, watts, ipc = suite_average_result(XEON_E5_2420,
+                                                   SPEC_CPU2006)
+        assert seconds > 0 and watts > 0 and ipc > 0
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            suite_average_ipc(ATOM_C2758, {})
+        with pytest.raises(ValueError):
+            suite_average_result(ATOM_C2758, {})

@@ -1,0 +1,54 @@
+"""Tests for the programmatic paper-vs-measured validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.validation import (PAPER_CLAIMS, Claim, ClaimResult,
+                                       ValidationReport, validate)
+
+
+class TestClaims:
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_bands_well_formed(self):
+        for claim in PAPER_CLAIMS:
+            lo, hi = claim.band
+            assert lo < hi, claim.claim_id
+            if claim.paper_value is not None:
+                # The paper value need not be inside our band (the Sort
+                # outlier), but the band must touch its order of magnitude.
+                assert hi >= claim.paper_value * 0.25, claim.claim_id
+
+    def test_every_claim_cites_a_source(self):
+        assert all(c.source for c in PAPER_CLAIMS)
+
+
+class TestValidate:
+    @pytest.fixture(scope="class")
+    def report(self, characterizer):
+        return validate(characterizer)
+
+    def test_all_claims_in_band(self, report):
+        misses = [r.claim.claim_id for r in report.results if not r.ok]
+        assert not misses, f"claims out of band: {misses}"
+
+    def test_counts(self, report):
+        assert report.total == len(PAPER_CLAIMS)
+        assert report.passed == report.total
+        assert report.all_ok
+
+    def test_render_mentions_every_claim(self, report):
+        text = report.render()
+        for claim in PAPER_CLAIMS:
+            assert claim.claim_id in text
+        assert f"{report.passed}/{report.total}" in text
+
+    def test_out_of_band_detected(self, characterizer):
+        bogus = Claim("C99", "none", "always fails", None, (5.0, 6.0),
+                      lambda ch: 1.0)
+        report = validate(characterizer, claims=[bogus])
+        assert not report.all_ok
+        assert "MISS" in report.render()

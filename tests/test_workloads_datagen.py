@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.datagen import (generate_labeled_documents,
+                                     generate_records,
+                                     generate_teragen_records,
+                                     generate_text_lines,
+                                     generate_transactions, zipf_vocabulary)
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = zipf_vocabulary(200)
+        assert len(vocab) == 200
+        assert len(set(vocab)) == 200
+
+    def test_deterministic(self):
+        assert zipf_vocabulary(50, seed=3) == zipf_vocabulary(50, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_vocabulary(0)
+
+
+class TestTextLines:
+    def test_shape(self):
+        lines = generate_text_lines(100, words_per_line=7)
+        assert len(lines) == 100
+        assert all(len(l.split()) == 7 for l in lines)
+
+    def test_zipf_skew(self):
+        """The most common word should dominate a uniform share."""
+        lines = generate_text_lines(500, vocabulary_size=100)
+        counts = Counter(" ".join(lines).split())
+        top = counts.most_common(1)[0][1]
+        assert top > 3 * (sum(counts.values()) / 100)
+
+    def test_deterministic(self):
+        assert generate_text_lines(10, seed=5) == generate_text_lines(
+            10, seed=5)
+        assert generate_text_lines(10, seed=5) != generate_text_lines(
+            10, seed=6)
+
+
+class TestRecords:
+    def test_sort_records(self):
+        records = generate_records(50, value_bytes=20)
+        assert len(records) == 50
+        assert all(len(v) == 20 for _k, v in records)
+
+    def test_teragen_key_shape(self):
+        records = generate_teragen_records(30)
+        assert all(len(k) == 10 for k, _v in records)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_records(-1)
+
+
+class TestTransactions:
+    def test_shape(self):
+        txs = generate_transactions(40, n_items=20, mean_length=5)
+        assert len(txs) == 40
+        assert all(len(set(t)) == len(t) for t in txs)  # sets, no dups
+
+    def test_planted_itemsets_frequent(self):
+        planted = [("item000", "item001")]
+        txs = generate_transactions(300, planted_itemsets=planted,
+                                    planted_probability=0.5, seed=9)
+        joint = sum(1 for t in txs
+                    if "item000" in t and "item001" in t)
+        assert joint >= 0.4 * len(txs)
+
+    def test_planted_probability_validated(self):
+        with pytest.raises(ValueError):
+            generate_transactions(10, planted_probability=1.5)
+
+
+class TestLabeledDocuments:
+    def test_labels_balanced(self):
+        docs = generate_labeled_documents(100, classes=("x", "y"))
+        labels = Counter(label for label, _d in docs)
+        assert labels["x"] == labels["y"] == 50
+
+    def test_class_vocabulary_skew(self):
+        """Documents should draw mostly from their class's word slice."""
+        docs = generate_labeled_documents(
+            200, classes=("spam", "ham"), vocabulary_size=100, seed=2)
+        spam_words = Counter()
+        ham_words = Counter()
+        for label, doc in docs:
+            (spam_words if label == "spam" else ham_words).update(doc.split())
+        spam_top = {w for w, _ in spam_words.most_common(10)}
+        ham_top = {w for w, _ in ham_words.most_common(10)}
+        assert spam_top != ham_top
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_labeled_documents(10, classes=())

@@ -1,0 +1,185 @@
+"""End-to-end tests of the six applications' real implementations."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.functional import LocalRuntime, run_pipeline
+from repro.workloads.datagen import (generate_labeled_documents,
+                                     generate_records, generate_text_lines,
+                                     generate_transactions)
+from repro.workloads.fp_growth import (fp_growth_mine, item_frequencies,
+                                       parallel_fp_growth)
+from repro.workloads.grep import grep_jobs
+from repro.workloads.naive_bayes import NaiveBayesModel, train_naive_bayes
+from repro.workloads.sort import sort_job
+from repro.workloads.terasort import (range_partitioner,
+                                      sample_split_points, terasort_jobs)
+from repro.workloads.wordcount import wordcount_job
+
+
+class TestWordCount:
+    def test_counts_match_ground_truth(self):
+        lines = generate_text_lines(80, seed=3)
+        records = [(i, l) for i, l in enumerate(lines)]
+        output, _ = LocalRuntime(num_mappers=3).run(wordcount_job(), records)
+        assert dict(output) == dict(Counter(" ".join(lines).split()))
+
+
+class TestSort:
+    def test_records_globally_recoverable(self):
+        records = generate_records(60, seed=4)
+        output, _ = LocalRuntime().run(sort_job(num_reducers=3), records)
+        assert sorted(output) == sorted(records)
+
+    def test_each_partition_sorted(self):
+        records = generate_records(60, seed=4)
+        output, _ = LocalRuntime().run(sort_job(num_reducers=1), records)
+        keys = [k for k, _v in output]
+        assert keys == sorted(keys)
+
+
+class TestGrep:
+    def test_matches_re_findall(self):
+        lines = generate_text_lines(60, seed=6)
+        pattern = r"[a-z]*ab[a-z]*"
+        jobs = grep_jobs(pattern=pattern)
+        records = [(i, l) for i, l in enumerate(lines)]
+        output, stats = run_pipeline(LocalRuntime(), jobs, records)
+        truth = Counter()
+        for line in lines:
+            truth.update(re.findall(pattern, line))
+        assert {m: c for m, c in output} == dict(truth)
+
+    def test_sorted_by_descending_frequency(self):
+        lines = ["aba aba aba cab", "cab aba"]
+        output, _ = run_pipeline(
+            LocalRuntime(), grep_jobs(pattern=r"[a-z]*ab[a-z]*"),
+            [(i, l) for i, l in enumerate(lines)])
+        counts = [c for _m, c in output]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTeraSort:
+    def test_globally_sorted_output(self):
+        records = generate_records(200, key_space=10 ** 6, seed=7)
+        prepare, job = terasort_jobs(num_reducers=4)
+        prepare(records)
+        output, _ = LocalRuntime().run(job, records)
+        keys = [k for k, _v in output]
+        assert keys == sorted(keys)
+        assert sorted(output) == sorted(records)
+
+    def test_split_points_are_quantiles(self):
+        splits = sample_split_points(list(range(100)), 4)
+        assert splits == [25, 50, 75]
+
+    def test_single_reducer_no_splits(self):
+        assert sample_split_points([1, 2, 3], 1) == []
+
+    def test_range_partitioner_monotone(self):
+        part = range_partitioner([10, 20, 30])
+        buckets = [part(k, 4) for k in (5, 10, 15, 25, 99)]
+        assert buckets == [0, 0, 1, 2, 3]
+        assert buckets == sorted(buckets)
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            sample_split_points([1], 0)
+
+
+class TestNaiveBayes:
+    def test_training_beats_chance(self):
+        docs = generate_labeled_documents(240, seed=11)
+        train, test = docs[:200], docs[200:]
+        model = train_naive_bayes(train)
+        assert model.accuracy(test) > 0.8
+
+    def test_model_counts_match_manual(self):
+        docs = [("spam", "buy now"), ("ham", "hello friend"),
+                ("spam", "buy buy")]
+        model = train_naive_bayes(docs, num_mappers=1, num_reducers=1)
+        assert model.class_doc_counts == {"spam": 2, "ham": 1}
+        assert model.token_counts["spam"]["buy"] == 3
+
+    def test_classify_prefers_seen_vocabulary(self):
+        docs = [("a", "xx yy xx"), ("b", "zz ww zz")] * 5
+        model = train_naive_bayes(docs)
+        assert model.classify("xx yy") == "a"
+        assert model.classify("zz ww") == "b"
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesModel().classify("anything")
+
+    def test_log_prior_normalization(self):
+        docs = [("a", "x"), ("a", "y"), ("b", "z")]
+        model = train_naive_bayes(docs)
+        import math
+        priors = [math.exp(model.log_prior(c)) for c in model.classes]
+        assert sum(priors) == pytest.approx(1.0, abs=0.01)
+
+
+def _brute_force_frequent(transactions, min_support):
+    """Reference miner: enumerate all itemsets up to size 3."""
+    items = sorted({i for t in transactions for i in t})
+    out = {}
+    for size in (1, 2, 3):
+        for combo in itertools.combinations(items, size):
+            support = sum(1 for t in transactions
+                          if set(combo).issubset(t))
+            if support >= min_support:
+                out[frozenset(combo)] = support
+    return out
+
+
+class TestFPGrowth:
+    def test_item_frequencies(self):
+        txs = [["a", "b"], ["a"], ["b", "c"]]
+        assert item_frequencies(txs) == {"a": 2, "b": 2, "c": 1}
+
+    def test_matches_brute_force(self):
+        txs = generate_transactions(60, n_items=8, mean_length=4, seed=13)
+        min_support = 8
+        mined = fp_growth_mine(txs, min_support)
+        brute = _brute_force_frequent(txs, min_support)
+        mined_small = {k: v for k, v in mined.items() if len(k) <= 3}
+        assert mined_small == brute
+
+    def test_planted_itemset_found(self):
+        planted = ("item000", "item001", "item002")
+        txs = generate_transactions(200, planted_itemsets=[planted],
+                                    planted_probability=0.6, seed=17)
+        mined = fp_growth_mine(txs, min_support=80)
+        assert frozenset(planted) in mined
+
+    def test_parallel_equals_single_machine(self):
+        txs = generate_transactions(80, n_items=10, mean_length=5, seed=19)
+        min_support = 10
+        single = fp_growth_mine(txs, min_support)
+        parallel = parallel_fp_growth(txs, min_support, num_groups=3)
+        assert parallel == single
+
+    def test_min_support_validated(self):
+        with pytest.raises(ValueError):
+            fp_growth_mine([["a"]], 0)
+        with pytest.raises(ValueError):
+            parallel_fp_growth([["a"]], 0)
+
+    @given(st.lists(st.lists(st.sampled_from("abcdef"), min_size=1,
+                             max_size=4).map(lambda t: sorted(set(t))),
+                    min_size=1, max_size=25),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25)
+    def test_supports_are_consistent(self, txs, min_support):
+        """Every reported support must equal the true subset count."""
+        mined = fp_growth_mine(txs, min_support)
+        for itemset, support in mined.items():
+            true = sum(1 for t in txs if itemset.issubset(t))
+            assert support == true
+            assert support >= min_support

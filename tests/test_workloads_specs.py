@@ -1,0 +1,131 @@
+"""Tests for the workload registry and Table 2 metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.cores import CpuProfile
+from repro.workloads.base import (MICRO_BENCHMARKS, REAL_WORLD, Category,
+                                  JobStage, WorkloadSpec, all_workloads,
+                                  register_workload, workload)
+
+
+class TestRegistry:
+    def test_table2_applications_present(self):
+        names = set(all_workloads())
+        table2 = {"wordcount", "sort", "grep", "terasort",
+                  "naive_bayes", "fp_growth"}
+        assert table2 <= names
+        # Anything beyond Table 2 must be a declared extension.
+        from repro.workloads.base import EXTENSIONS
+        assert names - table2 == set(EXTENSIONS)
+
+    def test_groups(self):
+        assert set(MICRO_BENCHMARKS) == {"wordcount", "sort", "grep",
+                                         "terasort"}
+        assert set(REAL_WORLD) == {"naive_bayes", "fp_growth"}
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload("bitcoin_miner")
+
+    def test_conflicting_registration_rejected(self):
+        spec = workload("wordcount")
+        changed = WorkloadSpec(
+            name="wordcount", full_name="other", domain=spec.domain,
+            data_source=spec.data_source, category=spec.category,
+            stages=spec.stages)
+        with pytest.raises(ValueError):
+            register_workload(changed)
+
+    def test_reregistration_of_same_spec_ok(self):
+        spec = workload("sort")
+        assert register_workload(spec) is spec
+
+
+class TestTable2Classification:
+    """The paper's application classes (Table 2 / §3.5)."""
+
+    def test_wordcount_is_compute(self):
+        assert workload("wordcount").category == Category.COMPUTE
+
+    def test_sort_is_io(self):
+        assert workload("sort").category == Category.IO
+
+    def test_grep_and_terasort_hybrid(self):
+        assert workload("grep").category == Category.HYBRID
+        assert workload("terasort").category == Category.HYBRID
+
+    def test_real_world_compute(self):
+        assert workload("naive_bayes").category == Category.COMPUTE
+        assert workload("fp_growth").category == Category.COMPUTE
+
+    def test_domains(self):
+        assert workload("fp_growth").domain == "Association Rule Mining"
+        assert workload("naive_bayes").domain == "Classification"
+
+
+class TestStageStructure:
+    def test_sort_is_map_only(self):
+        assert not workload("sort").has_reduce
+
+    def test_grep_chains_two_stages(self):
+        grep = workload("grep")
+        assert [s.name for s in grep.stages] == ["search", "sort"]
+        assert grep.stages[1].input_source == "previous"
+
+    def test_terasort_samples_original(self):
+        ts = workload("terasort")
+        assert ts.stages[0].input_fraction < 1.0
+        assert ts.stages[1].input_source == "original"
+        assert ts.stages[1].output_replication == 1
+
+    def test_stage_lookup(self):
+        assert workload("grep").stage("search").map_ipb > 0
+        with pytest.raises(KeyError):
+            workload("grep").stage("ghost")
+
+
+class TestValidation:
+    def _profile(self):
+        return CpuProfile.characterized("p", ilp=1.5, apki=400,
+                                        l1_miss_ratio=0.1,
+                                        locality_alpha=0.5)
+
+    def _stage(self, **overrides):
+        params = dict(name="s", map_ipb=10.0, map_profile=self._profile(),
+                      map_output_ratio=1.0, reduces_per_node=0.0)
+        params.update(overrides)
+        return JobStage(**params)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            self._stage(map_ipb=-1)
+
+    def test_reduce_needs_profile(self):
+        with pytest.raises(ValueError):
+            self._stage(reduces_per_node=1.0, reduce_profile=None)
+
+    def test_bad_input_source(self):
+        with pytest.raises(ValueError):
+            self._stage(input_source="sideways")
+
+    def test_bad_io_path_factor(self):
+        with pytest.raises(ValueError):
+            self._stage(io_path_factor=0.0)
+
+    def test_bad_output_replication(self):
+        with pytest.raises(ValueError):
+            self._stage(output_replication=0)
+
+    def test_bad_category(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", full_name="x", domain="d",
+                         data_source="text", category="quantum",
+                         stages=(self._stage(),))
+
+    def test_spec_needs_stages(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", full_name="x", domain="d",
+                         data_source="text", category=Category.COMPUTE,
+                         stages=())

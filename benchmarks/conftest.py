@@ -9,6 +9,7 @@ shapes, prints the regenerated rows/series, and archives them under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -20,8 +21,16 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def characterizer() -> Characterizer:
-    """Shared measurement cache across all benchmark files."""
-    return Characterizer()
+    """Shared measurement cache across all benchmark files.
+
+    Opt into the persistent result cache and/or parallel cell execution
+    with ``REPRO_BENCH_CACHE=1`` and ``REPRO_JOBS=N`` — a warm second
+    benchmark run then deserializes grid cells instead of re-simulating
+    them (the drivers stay timed; only cell simulation is cached).
+    """
+    from repro.analysis.executor import ResultCache, resolve_jobs
+    cache = ResultCache() if os.environ.get("REPRO_BENCH_CACHE") else None
+    return Characterizer(cache=cache, jobs=resolve_jobs(None))
 
 
 @pytest.fixture()

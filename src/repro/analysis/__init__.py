@@ -1,6 +1,11 @@
-"""Analysis layer: sweeps, table rendering, per-figure experiment drivers."""
+"""Analysis layer: sweeps, parallel execution, result cache, table
+rendering, and per-figure experiment drivers."""
 
-from .experiments import ALL_EXPERIMENTS, Experiment
+from .executor import (CacheStats, CellError, ResultCache, cache_key,
+                       default_cache_dir, model_fingerprint, resolve_jobs,
+                       run_cells)
+from .experiments import (ALL_EXPERIMENTS, Experiment, paper_grid_keys,
+                          warm_grid)
 from .sweep import SweepResult, sweep
 from .tables import eng, format_grid, format_series, format_table
 from .report import generate_report
@@ -10,4 +15,6 @@ from .validation import (PAPER_CLAIMS, Claim, ClaimResult,
 __all__ = ["ALL_EXPERIMENTS", "Experiment", "SweepResult", "sweep", "eng",
            "format_grid", "format_series", "format_table", "PAPER_CLAIMS",
            "Claim", "ClaimResult", "ValidationReport", "validate",
-           "generate_report"]
+           "generate_report", "CacheStats", "CellError", "ResultCache",
+           "cache_key", "default_cache_dir", "model_fingerprint",
+           "resolve_jobs", "run_cells", "paper_grid_keys", "warm_grid"]

@@ -38,7 +38,7 @@ __all__ = [
     "fig13_phase_edp_datasize", "fig14_accel_sweep", "fig15_accel_freq",
     "fig16_accel_block", "table3_cost", "fig17_spider",
     "scheduling_case_study", "phase_scheduling_study", "tuning_study",
-    "ALL_EXPERIMENTS",
+    "paper_grid_keys", "warm_grid", "ALL_EXPERIMENTS",
 ]
 
 MACHINES = ("atom", "xeon")
@@ -74,6 +74,47 @@ def _default_gb(workload: str) -> float:
     return PAPER_REAL_GB if workload in REAL_WORLD else PAPER_MICRO_GB
 
 
+def paper_grid_keys() -> List[RunKey]:
+    """The measurement-grid cells the F1–F17 drivers consult.
+
+    This is the union of the frequency × block-size grids (Figs. 3–9,
+    14–16), the data-size grid at 512 MB blocks (Figs. 10–13), and the
+    64 MB default-block cells (Figs. 1/2) — enumerated from the same
+    module constants the drivers use, so it stays in sync by
+    construction.  Table 3's core-count cells and the scheduling studies
+    go beyond this manifest and are simulated on demand.
+    """
+    keys: List[RunKey] = []
+    for machine in MACHINES:
+        for wl in MICRO_BENCHMARKS + REAL_WORLD:
+            gb = _default_gb(wl)
+            blocks = MICRO_BLOCKS if wl in MICRO_BENCHMARKS else REAL_BLOCKS
+            for freq in FREQS:
+                for block in blocks:
+                    keys.append(RunKey(machine, wl, freq_ghz=freq,
+                                       block_size_mb=block,
+                                       data_per_node_gb=gb))
+            for data_gb in DATA_SIZES_GB:
+                keys.append(RunKey(machine, wl, block_size_mb=512.0,
+                                   data_per_node_gb=data_gb))
+            keys.append(RunKey(machine, wl, block_size_mb=64.0,
+                               data_per_node_gb=gb))
+    return list(dict.fromkeys(keys))
+
+
+def warm_grid(ch: Characterizer, jobs: Optional[int] = None) -> int:
+    """Pre-simulate :func:`paper_grid_keys` across *jobs* workers.
+
+    The figure drivers themselves stay serial; warming the shared
+    characterizer first is what lets ``repro-hadoop run all --jobs N``
+    parallelize the hot path without touching any driver.  Returns the
+    number of grid cells warmed.
+    """
+    keys = paper_grid_keys()
+    ch.run_many(keys, jobs=jobs)
+    return len(keys)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 1 / Fig. 2: traditional suites vs Hadoop
 # ---------------------------------------------------------------------------
@@ -91,7 +132,7 @@ def _hadoop_results(ch: Characterizer, freq: float = 1.8
 
 def fig1_ipc(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 1: average IPC of SPEC, PARSEC and Hadoop on both cores."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     suites = {"Avg_Spec": SPEC_CPU2006, "Avg_Parsec": PARSEC_21}
     specs = {"atom": ATOM_C2758, "xeon": XEON_E5_2420}
     ipc: Dict[Tuple[str, str], float] = {}
@@ -115,7 +156,7 @@ def fig1_ipc(ch: Optional[Characterizer] = None) -> Experiment:
 
 def fig2_edxp_suites(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 2: EDP/ED2P/ED3P ratio (Atom vs Xeon) per suite."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     specs = {"atom": ATOM_C2758, "xeon": XEON_E5_2420}
     ratios: Dict[Tuple[str, int], float] = {}
     for label, suite in (("Avg_Spec", SPEC_CPU2006),
@@ -191,7 +232,7 @@ def fig3_exectime_micro(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 3: micro-benchmark execution time vs HDFS block x frequency."""
     return _exectime_experiment(
         "F3", "Execution time of Hadoop micro-benchmarks vs block/frequency",
-        ch or Characterizer(), MICRO_BENCHMARKS, MICRO_BLOCKS,
+        ch if ch is not None else Characterizer(), MICRO_BENCHMARKS, MICRO_BLOCKS,
         PAPER_MICRO_GB)
 
 
@@ -199,7 +240,7 @@ def fig4_exectime_real(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 4: real-world application execution time vs block x frequency."""
     return _exectime_experiment(
         "F4", "Execution time of real-world applications vs block/frequency",
-        ch or Characterizer(), REAL_WORLD, REAL_BLOCKS, PAPER_REAL_GB)
+        ch if ch is not None else Characterizer(), REAL_WORLD, REAL_BLOCKS, PAPER_REAL_GB)
 
 
 # ---------------------------------------------------------------------------
@@ -241,28 +282,28 @@ def fig5_edp_real(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 5: EDP of the entire NB/FP applications vs frequency."""
     return _edp_freq_experiment(
         "F5", "EDP of entire real-world applications vs frequency",
-        ch or Characterizer(), REAL_WORLD, per_phase=False)
+        ch if ch is not None else Characterizer(), REAL_WORLD, per_phase=False)
 
 
 def fig6_edp_micro(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 6: EDP of the entire micro-benchmarks vs frequency."""
     return _edp_freq_experiment(
         "F6", "EDP of entire Hadoop micro-benchmarks vs frequency",
-        ch or Characterizer(), MICRO_BENCHMARKS, per_phase=False)
+        ch if ch is not None else Characterizer(), MICRO_BENCHMARKS, per_phase=False)
 
 
 def fig7_phase_edp_micro(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 7: map/reduce-phase EDP of micro-benchmarks vs frequency."""
     return _edp_freq_experiment(
         "F7", "Map/Reduce phase EDP of micro-benchmarks vs frequency",
-        ch or Characterizer(), MICRO_BENCHMARKS, per_phase=True)
+        ch if ch is not None else Characterizer(), MICRO_BENCHMARKS, per_phase=True)
 
 
 def fig8_phase_edp_real(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 8: map/reduce-phase EDP of NB/FP vs frequency."""
     return _edp_freq_experiment(
         "F8", "Map/Reduce phase EDP of real-world applications vs frequency",
-        ch or Characterizer(), REAL_WORLD, per_phase=True)
+        ch if ch is not None else Characterizer(), REAL_WORLD, per_phase=True)
 
 
 # ---------------------------------------------------------------------------
@@ -271,7 +312,7 @@ def fig8_phase_edp_real(ch: Optional[Characterizer] = None) -> Experiment:
 
 def fig9_edp_ratio_block(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 9: Xeon-to-Atom EDP ratio vs HDFS block size at 1.8 GHz."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment("F9", "EDP gap (Xeon/Atom) vs HDFS block size @1.8GHz")
     series = {}
     for wl in MICRO_BENCHMARKS + REAL_WORLD:
@@ -334,19 +375,19 @@ def fig10_breakdown_micro(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 10: execution-time breakdown vs data size (micro-benchmarks)."""
     return _breakdown_experiment(
         "F10", "Execution time and phase breakdown vs input size (micro)",
-        ch or Characterizer(), MICRO_BENCHMARKS)
+        ch if ch is not None else Characterizer(), MICRO_BENCHMARKS)
 
 
 def fig11_breakdown_real(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 11: execution-time breakdown vs data size (NB/FP)."""
     return _breakdown_experiment(
         "F11", "Execution time and phase breakdown vs input size (real)",
-        ch or Characterizer(), REAL_WORLD)
+        ch if ch is not None else Characterizer(), REAL_WORLD)
 
 
 def fig12_edp_datasize(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 12: EDP of the entire application vs input data size."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     workloads = MICRO_BENCHMARKS + REAL_WORLD
     grid = _datasize_results(ch, workloads)
     exp = Experiment("F12", "EDP of entire applications vs input data size")
@@ -365,7 +406,7 @@ def fig12_edp_datasize(ch: Optional[Characterizer] = None) -> Experiment:
 
 def fig13_phase_edp_datasize(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 13: map/reduce-phase EDP (Atom/Xeon) vs input data size."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     workloads = MICRO_BENCHMARKS + REAL_WORLD
     grid = _datasize_results(ch, workloads)
     exp = Experiment(
@@ -394,7 +435,7 @@ def fig13_phase_edp_datasize(ch: Optional[Characterizer] = None) -> Experiment:
 
 def fig14_accel_sweep(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 14: Eq. (1) speedup ratio vs mapper acceleration (1-100x)."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment(
         "F14", "Atom-vs-Xeon speedup after/before map acceleration")
     series = {}
@@ -416,7 +457,7 @@ def fig14_accel_sweep(ch: Optional[Characterizer] = None) -> Experiment:
 def fig15_accel_freq(ch: Optional[Characterizer] = None,
                      accel_rate: float = 50.0) -> Experiment:
     """Fig. 15: speedup ratio before/after acceleration vs frequency."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment(
         "F15", f"Post-acceleration speedup ratio vs frequency "
                f"(accel {accel_rate:g}x)")
@@ -442,7 +483,7 @@ def fig15_accel_freq(ch: Optional[Characterizer] = None,
 def fig16_accel_block(ch: Optional[Characterizer] = None,
                       accel_rate: float = 50.0) -> Experiment:
     """Fig. 16: speedup ratio before/after acceleration vs block size."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment(
         "F16", f"Post-acceleration speedup ratio vs HDFS block size "
                f"(accel {accel_rate:g}x)")
@@ -472,7 +513,7 @@ def fig16_accel_block(ch: Optional[Characterizer] = None,
 
 def table3_cost(ch: Optional[Characterizer] = None) -> Experiment:
     """Table 3: EDxP / EDxAP for M in {2,4,6,8} cores on both machines."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment(
         "T3", "Operational and capital cost vs number of cores/mappers")
     tables: Dict[str, CostTable] = {}
@@ -492,7 +533,7 @@ def table3_cost(ch: Optional[Characterizer] = None) -> Experiment:
 
 def fig17_spider(ch: Optional[Characterizer] = None) -> Experiment:
     """Fig. 17: cost metrics normalized to the 8-Xeon-core configuration."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     exp = Experiment(
         "F17", "Cost spider data normalized to 8 Xeon cores")
     spiders = {}
@@ -510,7 +551,7 @@ def fig17_spider(ch: Optional[Characterizer] = None) -> Experiment:
 def scheduling_case_study(ch: Optional[Characterizer] = None,
                           goal: str = "EDP") -> Experiment:
     """§3.5 case study: policies vs the exhaustive oracle on the job mix."""
-    ch = ch or Characterizer()
+    ch = ch if ch is not None else Characterizer()
     workloads = list(MICRO_BENCHMARKS + REAL_WORLD)
     reports = evaluate_policies(workloads, goal=goal, characterizer=ch)
     exp = Experiment(
@@ -552,7 +593,7 @@ def phase_scheduling_study(ch: Optional[Characterizer] = None,
 def tuning_study(ch: Optional[Characterizer] = None) -> Experiment:
     """X2 (extension): configuration tuning recommendations per workload."""
     from ..core.tuning import TuningAdvisor
-    advisor = TuningAdvisor(ch or Characterizer())
+    advisor = TuningAdvisor(ch if ch is not None else Characterizer())
     exp = Experiment(
         "X2", "Configuration tuning advisor: best (freq, block) per goal "
               "(extension)")

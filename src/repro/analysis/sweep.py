@@ -5,6 +5,14 @@ frequency, block size, data size, core count).  ``sweep`` expands the
 product, runs every cell through a shared :class:`Characterizer`, and
 returns the results keyed by their coordinates — the figure drivers then
 slice out the series they need.
+
+Sweeps can run in parallel: ``sweep(..., jobs=4)`` fans cache misses out
+over four worker processes via :mod:`repro.analysis.executor` while
+keeping the result dict in deterministic cross-product order, so
+``jobs=1`` and ``jobs=N`` produce identical :class:`SweepResult`\\ s.
+If the characterizer carries a persistent
+:class:`~repro.analysis.executor.ResultCache`, previously simulated
+cells are loaded from disk instead of re-simulated.
 """
 
 from __future__ import annotations
@@ -26,13 +34,39 @@ _AXES = ("machine", "workload", "freq_ghz", "block_size_mb",
 
 @dataclass
 class SweepResult:
-    """Results of a sweep, indexed by coordinate tuples."""
+    """Results of a sweep, indexed by coordinate tuples.
+
+    ``axes`` names the swept dimensions in declaration order and
+    ``results`` maps each coordinate tuple (one value per axis, same
+    order) to its :class:`JobResult`.  The two accessors cover the
+    common uses:
+
+    * :meth:`get` — one cell, by fully specified coordinates;
+    * :meth:`series` — a 1-D slice for plotting, varying one axis.
+
+    Example:
+        >>> res = sweep(machine=["atom", "xeon"], workload=["wordcount"],
+        ...             freq_ghz=[1.2, 1.8])
+        >>> res.get(machine="atom", workload="wordcount",
+        ...         freq_ghz=1.8).execution_time_s  # doctest: +SKIP
+        412.7
+        >>> res.series("freq_ghz", lambda r: r.execution_time_s,
+        ...            machine="atom", workload="wordcount")
+        ...     # doctest: +SKIP
+        [(1.2, 574.3), (1.8, 412.7)]
+    """
 
     axes: Tuple[str, ...]
     results: Dict[Tuple, JobResult] = field(default_factory=dict)
 
     def get(self, **coords) -> JobResult:
-        """Look up one cell by axis values (all axes must be given)."""
+        """Look up one cell by axis values (all axes must be given).
+
+        Coordinates are matched exactly against the swept values, e.g.
+        ``res.get(machine="atom", workload="sort", freq_ghz=1.8)`` for a
+        sweep over those three axes.  Raises :class:`KeyError` when a
+        coordinate combination was not part of the sweep.
+        """
         key = tuple(coords[a] for a in self.axes)
         try:
             return self.results[key]
@@ -42,7 +76,20 @@ class SweepResult:
     def series(self, x_axis: str, y, **fixed) -> List[Tuple[Any, float]]:
         """Extract a 1-D series: vary *x_axis*, fix everything else.
 
-        *y* is a callable mapping a :class:`JobResult` to a number.
+        *y* is a callable mapping a :class:`JobResult` to a number (e.g.
+        ``lambda r: r.execution_time_s`` or an EDP helper); *fixed* pins
+        the remaining axes.  Returns ``(x, y)`` pairs sorted by the
+        x-axis value — ready to tabulate or plot:
+
+            >>> res.series("block_size_mb",
+            ...            lambda r: r.dynamic_energy_j,
+            ...            machine="xeon", workload="terasort")
+            ...     # doctest: +SKIP
+            [(64.0, 8123.4), (128.0, 7410.9), (256.0, 7068.2)]
+
+        Axes left unfixed (other than *x_axis*) are not collapsed: every
+        matching cell contributes a point, so pin all of them when you
+        want a single curve.
         """
         if x_axis not in self.axes:
             raise KeyError(f"unknown axis {x_axis!r}; have {self.axes}")
@@ -63,8 +110,15 @@ def _sort_key(key: Tuple):
 
 
 def sweep(characterizer: Optional[Characterizer] = None,
+          jobs: Optional[int] = None,
           **axes: Sequence) -> SweepResult:
     """Run the full cross-product of the given axes.
+
+    *jobs* selects the worker-process count for cells not already
+    memoized or disk-cached (``None`` defers to the characterizer's own
+    setting, ``1`` forces serial, ``0`` means one worker per CPU).  The
+    result is independent of *jobs* — cells are merged in cross-product
+    order, not completion order.
 
     Example:
         >>> res = sweep(machine=["atom", "xeon"], workload=["wordcount"],
@@ -75,10 +129,12 @@ def sweep(characterizer: Optional[Characterizer] = None,
     for name in axes:
         if name not in _AXES:
             raise KeyError(f"unknown sweep axis {name!r}; valid: {_AXES}")
-    ch = characterizer or Characterizer()
+    ch = characterizer if characterizer is not None else Characterizer()
     names = tuple(axes.keys())
+    cells = [tuple(values) for values in itertools.product(*axes.values())]
+    keys = [RunKey(**dict(zip(names, values))) for values in cells]
+    ch.run_many(keys, jobs=jobs)
     result = SweepResult(axes=names)
-    for values in itertools.product(*axes.values()):
-        coords = dict(zip(names, values))
-        result.results[tuple(values)] = ch.run(RunKey(**coords))
+    for values, key in zip(cells, keys):
+        result.results[values] = ch.run(key)
     return result

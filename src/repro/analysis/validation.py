@@ -167,7 +167,7 @@ def _t3_gain(ch: Characterizer) -> float:
 def validate(characterizer: Optional[Characterizer] = None,
              claims: Sequence[Claim] = PAPER_CLAIMS) -> ValidationReport:
     """Evaluate every claim; returns the structured report."""
-    ch = characterizer or Characterizer()
+    ch = characterizer if characterizer is not None else Characterizer()
     return ValidationReport(
         results=[ClaimResult(claim=c, measured=c.measure(ch))
                  for c in claims])

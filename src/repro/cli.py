@@ -4,9 +4,18 @@ Examples::
 
     repro-hadoop list
     repro-hadoop run F1 F2
-    repro-hadoop run all
+    repro-hadoop run all --jobs 4          # parallel, persistently cached
+    repro-hadoop run all --no-cache        # force a cold, serial-fidelity run
     repro-hadoop job --machine atom --workload wordcount --freq 1.6
     repro-hadoop validate
+    repro-hadoop cache stats
+    repro-hadoop cache clear
+
+Simulation commands (``run``/``validate``/``report``) share a persistent
+result cache (see ``docs/MODELING.md`` §7): cells already simulated by a
+previous invocation — with identical model code — are loaded from disk
+instead of re-run, and ``--jobs N`` fans the remaining cells out over N
+worker processes.  Results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis.experiments import ALL_EXPERIMENTS
+from .analysis.experiments import ALL_EXPERIMENTS, warm_grid
+from .analysis.executor import ResultCache, resolve_jobs
 from .core.characterization import Characterizer
 from .core.metrics import edp
 from .mapreduce.driver import simulate_job
@@ -31,17 +41,30 @@ def build_parser() -> argparse.ArgumentParser:
                      "energy-efficient Hadoop computing'"))
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared by every command that simulates grid cells.
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                      help="worker processes for sweep cells "
+                           "(default 1 = serial, 0 = one per CPU)")
+    perf.add_argument("--no-cache", action="store_true",
+                      help="neither read nor write the on-disk result cache")
+    perf.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="result-cache directory (default: $REPRO_CACHE_DIR "
+                           "or ~/.cache/repro-hadoop)")
+
     sub.add_parser("list", help="list experiment ids and workloads")
 
-    run = sub.add_parser("run", help="regenerate figures/tables by id")
+    run = sub.add_parser("run", parents=[perf],
+                         help="regenerate figures/tables by id")
     run.add_argument("experiments", nargs="+",
                      help="experiment ids (F1..F17, T3, S1) or 'all'")
 
-    sub.add_parser("validate",
+    sub.add_parser("validate", parents=[perf],
                    help="evaluate every paper claim against the model")
 
     report = sub.add_parser(
-        "report", help="write the full reproduction report (markdown)")
+        "report", parents=[perf],
+        help="write the full reproduction report (markdown)")
     report.add_argument("--output", "-o", default="reproduction_report.md",
                         help="output path (default reproduction_report.md)")
 
@@ -56,7 +79,43 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--nodes", type=int, default=3)
     job.add_argument("--cores", type=int, default=None,
                      help="active cores per node")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache.add_argument("action", choices=["stats", "clear"],
+                       help="'stats' prints entry counts and hit rates; "
+                            "'clear' deletes cached results")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-hadoop)")
+    cache.add_argument("--stale-only", action="store_true",
+                       help="with 'clear': only drop entries from "
+                            "superseded model fingerprints")
     return parser
+
+
+def _open_cache(cache_dir) -> ResultCache:
+    """Open the result cache, turning a bad path into a clean exit 2."""
+    try:
+        return ResultCache(cache_dir)
+    except ValueError as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _make_characterizer(args: argparse.Namespace) -> Characterizer:
+    """Build the shared characterizer from the perf flags."""
+    cache = None if args.no_cache else _open_cache(args.cache_dir)
+    return Characterizer(cache=cache, jobs=resolve_jobs(args.jobs))
+
+
+def _print_cache_summary(characterizer: Characterizer) -> None:
+    cache = characterizer.disk_cache
+    if cache is None:
+        return
+    print(f"[cache] {cache.hits} cells from cache, "
+          f"{cache.misses} simulated, {cache.stores} stored "
+          f"({cache.path})", file=sys.stderr)
 
 
 def _cmd_list() -> int:
@@ -70,7 +129,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: List[str]) -> int:
+def _cmd_run(ids: List[str], args: argparse.Namespace) -> int:
     if any(i.lower() == "all" for i in ids):
         ids = list(ALL_EXPERIMENTS)
     unknown = [i for i in ids if i.upper() not in ALL_EXPERIMENTS]
@@ -78,11 +137,16 @@ def _cmd_run(ids: List[str]) -> int:
         print(f"unknown experiment ids: {unknown}; "
               f"valid: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
-    characterizer = Characterizer()
+    characterizer = _make_characterizer(args)
+    if characterizer.jobs > 1:
+        # Fill the shared grid in parallel; the (serial) drivers below
+        # then find every cell memoized.
+        warm_grid(characterizer)
     for exp_id in ids:
         experiment = ALL_EXPERIMENTS[exp_id.upper()](characterizer)
         print(experiment.render())
         print()
+    _print_cache_summary(characterizer)
     return 0
 
 
@@ -109,26 +173,42 @@ def _cmd_job(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _open_cache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().render())
+        return 0
+    removed = cache.clear(stale_only=args.stale_only)
+    print(f"removed {removed} cached cell(s) from {cache.path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments)
+        return _cmd_run(args.experiments, args)
     if args.command == "validate":
         from .analysis.validation import validate
-        report = validate(Characterizer())
+        characterizer = _make_characterizer(args)
+        report = validate(characterizer)
         print(report.render())
+        _print_cache_summary(characterizer)
         return 0 if report.all_ok else 1
     if args.command == "report":
         from .analysis.report import generate_report
-        text = generate_report(Characterizer())
+        characterizer = _make_characterizer(args)
+        text = generate_report(characterizer)
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+        _print_cache_summary(characterizer)
         return 0
     if args.command == "job":
         return _cmd_job(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError("unreachable")
 
 

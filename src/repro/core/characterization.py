@@ -17,7 +17,8 @@ from ..mapreduce.config import DEFAULT_CONF, JobConf
 from ..mapreduce.driver import JobResult, simulate_job
 from .metrics import CostPoint, edxp
 
-__all__ = ["RunKey", "Characterizer", "PAPER_MICRO_GB", "PAPER_REAL_GB"]
+__all__ = ["RunKey", "Characterizer", "simulate_cell", "PAPER_MICRO_GB",
+           "PAPER_REAL_GB"]
 
 #: Data sizes the paper uses by default: 1 GB/node for micro-benchmarks,
 #: 10 GB/node for the real-world applications (§3).
@@ -52,8 +53,33 @@ class RunKey:
                 f"{self.data_per_node_gb:g} GB/node, {cores} cores")
 
 
+def simulate_cell(key: RunKey, conf: JobConf = DEFAULT_CONF) -> JobResult:
+    """Simulate one grid cell — the pure function behind every cache.
+
+    A cell's result is fully determined by (*key*, *conf*); this is the
+    single call site both :meth:`Characterizer.run` and the parallel
+    workers of :mod:`repro.analysis.executor` funnel through, which is
+    what makes cached, serial and parallel results bit-identical.
+    """
+    return simulate_job(
+        key.machine, key.workload,
+        n_nodes=key.n_nodes,
+        freq_ghz=key.freq_ghz,
+        block_size_mb=key.block_size_mb,
+        data_per_node_gb=key.data_per_node_gb,
+        cores_per_node=key.cores_per_node,
+        map_slots_per_node=key.map_slots_per_node,
+        conf=conf,
+    )
+
+
 class Characterizer:
     """Runs and memoizes grid cells.
+
+    Three layers of reuse, checked in order: an in-process dict, an
+    optional persistent :class:`~repro.analysis.executor.ResultCache`
+    (*cache*), and simulation.  *jobs* sets the default process-pool
+    width for :meth:`run_many` (1 = serial; 0 = one worker per CPU).
 
     Example:
         >>> ch = Characterizer()
@@ -62,29 +88,44 @@ class Characterizer:
         True
     """
 
-    def __init__(self, conf: JobConf = DEFAULT_CONF):
+    def __init__(self, conf: JobConf = DEFAULT_CONF, cache=None,
+                 jobs: int = 1):
         self.conf = conf
+        self.disk_cache = cache
+        self.jobs = jobs
         self._cache: Dict[RunKey, JobResult] = {}
 
     def run(self, key: RunKey) -> JobResult:
-        """Simulate one grid cell (cached)."""
+        """Simulate one grid cell (memoized, then disk-cached)."""
         result = self._cache.get(key)
+        if result is None and self.disk_cache is not None:
+            result = self.disk_cache.get(key, self.conf)
+            if result is not None:
+                self._cache[key] = result
         if result is None:
-            result = simulate_job(
-                key.machine, key.workload,
-                n_nodes=key.n_nodes,
-                freq_ghz=key.freq_ghz,
-                block_size_mb=key.block_size_mb,
-                data_per_node_gb=key.data_per_node_gb,
-                cores_per_node=key.cores_per_node,
-                map_slots_per_node=key.map_slots_per_node,
-                conf=self.conf,
-            )
+            result = simulate_cell(key, self.conf)
             self._cache[key] = result
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, self.conf, result)
         return result
 
-    def run_many(self, keys: Iterable[RunKey]) -> List[JobResult]:
-        return [self.run(key) for key in keys]
+    def run_many(self, keys: Iterable[RunKey],
+                 jobs: Optional[int] = None) -> List[JobResult]:
+        """Run a batch of cells, fanning cache misses out over *jobs*
+        worker processes (defaults to the instance's ``jobs``).
+
+        Results are returned in input order and are identical to calling
+        :meth:`run` serially; see :func:`repro.analysis.executor.run_cells`
+        for the ordering guarantee.
+        """
+        keys = list(keys)
+        jobs = self.jobs if jobs is None else jobs
+        missing = [k for k in dict.fromkeys(keys) if k not in self._cache]
+        if missing:
+            from ..analysis.executor import run_cells
+            self._cache.update(run_cells(missing, self.conf, jobs=jobs,
+                                         cache=self.disk_cache))
+        return [self._cache[key] for key in keys]
 
     def __len__(self) -> int:
         return len(self._cache)

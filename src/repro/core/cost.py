@@ -80,7 +80,7 @@ def cost_table(workload: str, characterizer: Optional[Characterizer] = None,
     Follows the paper's setup: 512 MB HDFS blocks, 1.8 GHz, number of
     mappers equal to the number of cores.
     """
-    ch = characterizer or Characterizer()
+    ch = characterizer if characterizer is not None else Characterizer()
     if data_per_node_gb is not None:
         gb = data_per_node_gb
     else:

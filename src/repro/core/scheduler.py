@@ -165,7 +165,7 @@ def evaluate_policies(workloads: Sequence[str],
     workload); costs are the realized goal metric of the chosen cell.
     """
     goal = _check_goal(goal)
-    ch = characterizer or Characterizer()
+    ch = characterizer if characterizer is not None else Characterizer()
     tables = {w: cost_table(w, characterizer=ch, **table_kwargs)
               for w in workloads}
     reports: List[PolicyReport] = []

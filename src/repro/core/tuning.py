@@ -76,7 +76,7 @@ class TuningAdvisor:
                  freqs_ghz: Sequence[float] = PAPER_FREQUENCIES_GHZ,
                  blocks_mb: Sequence[float] = PAPER_BLOCK_SIZES_MB,
                  core_counts: Optional[Sequence[int]] = None):
-        self.characterizer = characterizer or Characterizer()
+        self.characterizer = characterizer if characterizer is not None else Characterizer()
         self.freqs_ghz = tuple(freqs_ghz)
         self.blocks_mb = tuple(float(b) for b in blocks_mb)
         self.core_counts = tuple(core_counts) if core_counts else None

@@ -12,6 +12,7 @@ for the heterogeneous scheduling study.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Dict, List, Optional, Sequence
 
 from .blocks import Block
@@ -75,9 +76,13 @@ class NameNode:
         if not block.replicas:
             raise ValueError(f"block {block.block_id} has no replicas")
         # Deterministic spread: hash on block id so hot files don't pile
-        # onto one remote node.
+        # onto one remote node.  crc32, not hash() — the builtin is
+        # randomized per process (PYTHONHASHSEED), which would make the
+        # same simulation differ between processes and break the
+        # result cache's fresh-equals-cached guarantee.
         choices = sorted(block.replicas)
-        return choices[hash((block.block_id, reader)) % len(choices)]
+        spread = zlib.crc32(f"{block.block_id}:{reader}".encode())
+        return choices[spread % len(choices)]
 
     def locality_fraction(self, file: str, node_names: Sequence[str]) -> float:
         """Fraction of blocks with at least one replica in *node_names*."""

@@ -14,6 +14,7 @@ performance model.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Generic, Hashable, Iterable,
                     Iterator, List, Optional, Sequence, Tuple, TypeVar)
@@ -31,8 +32,15 @@ Partitioner = Callable[[Any, int], int]
 
 
 def hash_partitioner(key: Any, num_reducers: int) -> int:
-    """Hadoop's default partitioner (stable across runs for common keys)."""
-    return hash(key) % num_reducers
+    """Hadoop's default partitioner, stable across runs and processes.
+
+    Uses ``zlib.crc32`` over ``repr(key)`` rather than the builtin
+    ``hash()``, which is randomized per process (PYTHONHASHSEED) for
+    strings and would make identical jobs partition differently between
+    processes — breaking the result cache's fresh-equals-cached
+    guarantee.
+    """
+    return zlib.crc32(repr(key).encode()) % num_reducers
 
 
 def identity_mapper(key: Any, value: Any) -> Iterable[Pair]:

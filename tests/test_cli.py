@@ -19,6 +19,28 @@ class TestParser:
         assert args.machine == "atom"
         assert args.freq == pytest.approx(1.4)
 
+    def test_run_perf_flags(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir is None
+
+    def test_perf_flag_defaults(self):
+        args = build_parser().parse_args(["run", "F1"])
+        assert args.jobs == 1 and args.no_cache is False
+
+    def test_validate_accepts_perf_flags(self):
+        args = build_parser().parse_args(
+            ["validate", "-j", "2", "--cache-dir", "/tmp/x"])
+        assert args.jobs == 2 and args.cache_dir == "/tmp/x"
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.action == "stats"
+        args = build_parser().parse_args(["cache", "clear", "--stale-only"])
+        assert args.action == "clear" and args.stale_only is True
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -48,6 +70,48 @@ class TestCommands:
 
     def test_run_is_case_insensitive(self, capsys):
         assert main(["run", "f1"]) == 0
+
+    def test_run_with_cache_dir_warm_rerun(self, tmp_path, capsys):
+        """A warm-cache rerun simulates zero cells (acceptance criterion)."""
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "F1", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr()
+        assert "simulated" in first.err
+        assert main(["run", "F1", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr()
+        assert "0 simulated" in second.err
+        assert second.out == first.out  # cached output is bit-identical
+
+    def test_run_no_cache_leaves_disk_alone(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "F1", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+
+
+class TestCacheCommand:
+    def test_stats_on_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries (current): 0" in out
+        assert "model fingerprint" in out
+
+    def test_stats_after_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "F1", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries (current): 0" not in out
+
+    def test_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "F1", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries (current): 0" in capsys.readouterr().out
 
 
 class TestReport:

@@ -1,0 +1,72 @@
+"""Documentation invariants: link integrity and architecture coverage.
+
+These keep the docs honest in CI: every intra-repo markdown link must
+resolve, `docs/ARCHITECTURE.md` must mention every `src/repro`
+subpackage, and MODELING.md must document the cache-key scheme.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", ROOT / "tools" / "check_links.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLinks:
+    def test_no_broken_intra_repo_links(self):
+        checker = _load_check_links()
+        assert checker.broken_links(ROOT) == []
+
+    def test_linter_catches_broken_link(self, tmp_path):
+        (tmp_path / "bad.md").write_text("see [x](does/not/exist.md)")
+        checker = _load_check_links()
+        errors = checker.broken_links(tmp_path)
+        assert len(errors) == 1 and "does/not/exist.md" in errors[0]
+
+    def test_linter_allows_external_and_fragments(self, tmp_path):
+        (tmp_path / "ok.md").write_text(
+            "[a](https://example.com) [b](#section) [c](ok.md#frag)")
+        checker = _load_check_links()
+        assert checker.broken_links(tmp_path) == []
+
+
+class TestArchitectureDoc:
+    def test_every_subpackage_documented(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        packages = sorted(
+            p.name for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists())
+        assert packages  # sanity: the source tree is where we think
+        missing = [pkg for pkg in packages if f"`{pkg}/`" not in text]
+        assert not missing, f"ARCHITECTURE.md misses packages: {missing}"
+
+    def test_data_flow_names_the_pipeline(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        for stage in ("RunKey", "Characterizer", "SweepResult",
+                      "JobResult", "ResultCache"):
+            assert stage in text
+
+
+class TestModelingDoc:
+    def test_documents_cache_scheme(self):
+        text = (ROOT / "docs" / "MODELING.md").read_text()
+        for needle in ("fingerprint", "cache", "RunKey", "JobConf",
+                       "--no-cache", "cache clear"):
+            assert needle in text, f"MODELING.md lacks {needle!r}"
+
+    def test_readme_links_modeling_section(self):
+        text = (ROOT / "README.md").read_text()
+        assert "docs/MODELING.md" in text
+        assert "docs/ARCHITECTURE.md" in text
+        assert "--jobs" in text and "--no-cache" in text

@@ -1,0 +1,54 @@
+"""Parallel determinism: jobs=1 and jobs=4 must be indistinguishable.
+
+The executor merges worker results in cross-product order, never
+completion order, so a parallel sweep is bit-identical to a serial one —
+these tests pin that guarantee, plus the sweep/cache interaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.executor import ResultCache
+from repro.analysis.sweep import sweep
+from repro.core.characterization import Characterizer
+
+#: Small, seeded sweep: 2 machines x 2 frequencies at a sub-GB data size.
+AXES = dict(machine=["atom", "xeon"], workload=["wordcount"],
+            freq_ghz=[1.2, 1.8], data_per_node_gb=[0.25])
+
+
+class TestParallelDeterminism:
+    def test_jobs1_and_jobs4_identical(self):
+        serial = sweep(Characterizer(), jobs=1, **AXES)
+        parallel = sweep(Characterizer(), jobs=4, **AXES)
+        assert serial.axes == parallel.axes
+        assert list(serial.results) == list(parallel.results)  # same order
+        # Deep dataclass equality: every field of every JobResult, with
+        # exact (bitwise) float comparison — no tolerance.
+        assert serial.results == parallel.results
+        for cell, result in serial.results.items():
+            twin = parallel.results[cell]
+            assert result.execution_time_s == twin.execution_time_s
+            assert result.dynamic_energy_j == twin.dynamic_energy_j
+            assert result.phase_seconds == twin.phase_seconds
+
+    def test_parallel_sweep_populates_characterizer(self):
+        ch = Characterizer()
+        res = sweep(ch, jobs=4, **AXES)
+        assert len(ch) == len(res) == 4
+
+    def test_characterizer_default_jobs_used(self):
+        ch = Characterizer(jobs=4)
+        res = sweep(ch, **AXES)  # jobs=None defers to ch.jobs
+        assert len(res) == 4
+
+    def test_parallel_sweep_writes_cache(self, tmp_path):
+        ch = Characterizer(cache=ResultCache(tmp_path))
+        first = sweep(ch, jobs=4, **AXES)
+        assert ch.disk_cache.stores == 4
+        # A fresh characterizer over the same cache dir re-simulates nothing.
+        ch2 = Characterizer(cache=ResultCache(tmp_path))
+        second = sweep(ch2, jobs=1, **AXES)
+        assert ch2.disk_cache.hits == 4 and ch2.disk_cache.stores == 0
+        assert second.results == first.results

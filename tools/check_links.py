@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Docs lint: fail on broken intra-repo markdown links.
+
+Scans every ``*.md`` at the repo root and under ``docs/`` for inline
+markdown links ``[text](target)`` and reports targets that are neither
+external (``http(s)://``, ``mailto:``) nor existing files/directories
+relative to the linking file.  Fragment-only links (``#section``) are
+skipped; ``path#fragment`` links are checked for the path part.
+
+Usage::
+
+    python tools/check_links.py [repo-root]
+
+Exit status 0 when all links resolve, 1 otherwise (one line per broken
+link on stderr).  Run by CI (.github/workflows/ci.yml) and by
+``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Quoted upstream material (paper abstracts, snippets from other
+#: repositories) whose relative links point into *their* source trees,
+#: plus generated output — not authored docs, so not linted.
+EXCLUDE = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md", "reproduction_report.md"}
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = sorted(p for p in root.glob("*.md") if p.name not in EXCLUDE)
+    docs = root / "docs"
+    if docs.is_dir():
+        files += sorted(docs.glob("*.md"))
+    return files
+
+
+def broken_links(root: Path) -> List[str]:
+    errors = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                line = text[:match.start()].count("\n") + 1
+                errors.append(f"{md.relative_to(root)}:{line}: "
+                              f"broken link -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent)
+    errors = broken_links(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    checked = len(markdown_files(root))
+    print(f"docs-lint: {checked} markdown files, all intra-repo links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,7 @@ from ..core.cost import COST_METRICS, CostTable, cost_table, spider_series
 from ..core.metrics import edxp, geomean
 from ..core.scheduler import evaluate_policies
 from ..mapreduce.driver import JobResult
+from ..sim.faults import FaultPlan
 from ..workloads.base import MICRO_BENCHMARKS, REAL_WORLD
 from ..workloads.traditional import (PARSEC_21, SPEC_CPU2006,
                                      run_traditional)
@@ -38,7 +39,7 @@ __all__ = [
     "fig13_phase_edp_datasize", "fig14_accel_sweep", "fig15_accel_freq",
     "fig16_accel_block", "table3_cost", "fig17_spider",
     "scheduling_case_study", "phase_scheduling_study", "tuning_study",
-    "paper_grid_keys", "warm_grid", "ALL_EXPERIMENTS",
+    "fault_sweep", "paper_grid_keys", "warm_grid", "ALL_EXPERIMENTS",
 ]
 
 MACHINES = ("atom", "xeon")
@@ -46,6 +47,8 @@ FREQS = (1.2, 1.4, 1.6, 1.8)
 MICRO_BLOCKS = (32.0, 64.0, 128.0, 256.0, 512.0)
 REAL_BLOCKS = (64.0, 128.0, 256.0, 512.0)
 DATA_SIZES_GB = (1.0, 10.0, 20.0)
+FAULT_RATES = (0.0, 2.0, 5.0, 10.0)
+FAULT_WORKLOADS = ("wordcount", "terasort")
 
 
 @dataclass
@@ -613,6 +616,74 @@ def tuning_study(ch: Optional[Characterizer] = None) -> Experiment:
     return exp
 
 
+def fault_sweep(ch: Optional[Characterizer] = None, *, seed: int = 0,
+                rates: Sequence[float] = FAULT_RATES,
+                workloads: Sequence[str] = FAULT_WORKLOADS,
+                speculative: bool = False) -> Experiment:
+    """FT (extension): EDP and recovery overhead vs node-failure rate.
+
+    For each failure rate (node crashes per 1000 simulated seconds) a
+    :class:`~repro.sim.faults.FaultPlan` draws per-node crash times from
+    *seed*, and both machines run the workloads under it — so the sweep
+    compares how the big and little clusters absorb the recovery work
+    (re-queued blocks, re-executed map attempts) in energy-delay terms.
+    Rate 0 is the fault-free baseline and is byte-identical to the plain
+    grid cell.
+
+    The characterizer holds one fixed :class:`JobConf`, so the per-rate
+    confs go straight through :func:`repro.analysis.executor.run_cells`,
+    which keeps parallel (`--jobs N`) and serial results bit-identical
+    and caches each (cell, conf) pair under its own key.
+    """
+    from .executor import run_cells
+    ch = ch if ch is not None else Characterizer()
+    n_nodes = 3
+    grid: Dict[Tuple[str, str, float], JobResult] = {}
+    for rate in rates:
+        for machine in MACHINES:
+            nodes = [f"{machine}{i}" for i in range(n_nodes)]
+            plan = FaultPlan.with_crash_rate(seed, nodes, rate)
+            conf = ch.conf.override(fault_plan=plan,
+                                    speculative_execution=speculative)
+            keys = [RunKey(machine, wl, n_nodes=n_nodes,
+                           data_per_node_gb=_default_gb(wl))
+                    for wl in workloads]
+            results = run_cells(keys, conf, jobs=ch.jobs,
+                                cache=ch.disk_cache)
+            for key in keys:
+                grid[(machine, key.workload, rate)] = results[key]
+
+    exp = Experiment(
+        "FT", f"EDP and recovery overhead vs node-failure rate "
+              f"(extension, seed {seed})")
+    exp.data["grid"] = grid
+    exp.data["edp"] = {
+        (machine, wl): (list(rates),
+                        [_edp(grid[(machine, wl, r)]) for r in rates])
+        for machine in MACHINES for wl in workloads}
+    exp.data["recovery_overhead"] = {
+        (machine, wl): (list(rates),
+                        [grid[(machine, wl, r)].recovery_overhead
+                         for r in rates])
+        for machine in MACHINES for wl in workloads}
+    for wl in workloads:
+        rows = []
+        for machine in MACHINES:
+            for rate in rates:
+                result = grid[(machine, wl, rate)]
+                c = result.counters
+                rows.append([machine, rate, result.execution_time_s,
+                             result.dynamic_energy_j, _edp(result),
+                             c.map_attempts + c.reduce_attempts,
+                             c.node_crashes, result.wasted_task_seconds,
+                             result.recovery_overhead])
+        exp.sections.append(format_table(
+            ["machine", "crashes/1000s", "time [s]", "energy [J]", "EDP",
+             "attempts", "crashes", "wasted [s]", "overhead"],
+            rows, title=wl))
+    return exp
+
+
 #: Experiment id -> driver, for the CLI and the bench harness.
 ALL_EXPERIMENTS: Dict[str, Callable[..., Experiment]] = {
     "F1": fig1_ipc, "F2": fig2_edxp_suites, "F3": fig3_exectime_micro,
@@ -623,5 +694,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Experiment]] = {
     "F13": fig13_phase_edp_datasize, "F14": fig14_accel_sweep,
     "F15": fig15_accel_freq, "F16": fig16_accel_block, "T3": table3_cost,
     "F17": fig17_spider, "S1": scheduling_case_study,
-    "X1": phase_scheduling_study, "X2": tuning_study,
+    "X1": phase_scheduling_study, "X2": tuning_study, "FT": fault_sweep,
 }

@@ -27,6 +27,7 @@ def grid_rows(grid: Dict) -> List[List]:
         if not isinstance(result, JobResult):
             raise TypeError(f"grid values must be JobResult, got "
                             f"{type(result).__name__}")
+        counters = result.counters
         rows.append(list(key) + [
             result.execution_time_s,
             result.dynamic_power_w,
@@ -35,12 +36,23 @@ def grid_rows(grid: Dict) -> List[List]:
             result.phase_time("reduce"),
             result.phase_time("other"),
             result.ipc,
+            counters.map_attempts,
+            counters.reduce_attempts,
+            counters.failed_attempts,
+            counters.killed_attempts,
+            counters.speculative_attempts,
+            counters.node_crashes,
+            result.wasted_task_seconds,
         ])
     return rows
 
 
+# Keep in sync with the row layout of :func:`grid_rows` above.
 _GRID_SUFFIX = ["execution_time_s", "dynamic_power_w", "dynamic_energy_j",
-                "map_s", "reduce_s", "other_s", "ipc"]
+                "map_s", "reduce_s", "other_s", "ipc",
+                "map_attempts", "reduce_attempts", "failed_attempts",
+                "killed_attempts", "speculative_attempts", "node_crashes",
+                "wasted_s"]
 
 
 def series_rows(series: Dict) -> List[List]:

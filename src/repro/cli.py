@@ -7,6 +7,7 @@ Examples::
     repro-hadoop run all --jobs 4          # parallel, persistently cached
     repro-hadoop run all --no-cache        # force a cold, serial-fidelity run
     repro-hadoop job --machine atom --workload wordcount --freq 1.6
+    repro-hadoop faults --seed 7 --rates 0 5 10 --export out/faults
     repro-hadoop validate
     repro-hadoop cache stats
     repro-hadoop cache clear
@@ -57,7 +58,27 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", parents=[perf],
                          help="regenerate figures/tables by id")
     run.add_argument("experiments", nargs="+",
-                     help="experiment ids (F1..F17, T3, S1) or 'all'")
+                     help="experiment ids (F1..F17, T3, S1, X1, X2, FT) "
+                          "or 'all'")
+
+    faults = sub.add_parser(
+        "faults", parents=[perf],
+        help="sweep node-failure rates (experiment FT)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (same seed = bit-identical "
+                             "results, any --jobs)")
+    faults.add_argument("--rates", type=float, nargs="+", default=None,
+                        metavar="R",
+                        help="node-failure rates in crashes per 1000 "
+                             "simulated seconds (default 0 2 5 10)")
+    faults.add_argument("--workloads", nargs="+", default=None,
+                        metavar="WL",
+                        help="workloads to sweep (default wordcount "
+                             "terasort)")
+    faults.add_argument("--speculate", action="store_true",
+                        help="enable LATE speculative execution")
+    faults.add_argument("--export", default=None, metavar="DIR",
+                        help="write the FT_*.csv payloads to DIR")
 
     sub.add_parser("validate", parents=[perf],
                    help="evaluate every paper claim against the model")
@@ -173,6 +194,29 @@ def _cmd_job(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .analysis.executor import CellError
+    from .analysis.experiments import fault_sweep
+    from .analysis.export import write_experiment_csv
+    characterizer = _make_characterizer(args)
+    kwargs = {"seed": args.seed, "speculative": args.speculate}
+    if args.rates is not None:
+        kwargs["rates"] = tuple(args.rates)
+    if args.workloads is not None:
+        kwargs["workloads"] = tuple(args.workloads)
+    try:
+        experiment = fault_sweep(characterizer, **kwargs)
+    except (KeyError, ValueError, CellError) as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    print(experiment.render())
+    if args.export:
+        for path in write_experiment_csv(experiment, args.export):
+            print(f"wrote {path}")
+    _print_cache_summary(characterizer)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = _open_cache(args.cache_dir)
     if args.action == "stats":
@@ -205,6 +249,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
         _print_cache_summary(characterizer)
         return 0
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "job":
         return _cmd_job(args)
     if args.command == "cache":

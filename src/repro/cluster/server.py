@@ -60,6 +60,19 @@ class ServerNode:
             sim, spec.io_path_bw_per_ghz * freq_ghz * core_scale, 0.0,
             name=f"{name}.iopath")
         self.power = NodePower(spec.power, self.op)
+        #: Up/down state for the fault model: a crashed node stops
+        #: accepting tasks and is excluded from replica selection.
+        self.alive = True
+        self.failed_at: Optional[float] = None
+        #: Compute-degradation factor (>= 1) multiplying every compute
+        #: time on this node — thermal throttling, a noisy co-tenant.
+        self.compute_scale = 1.0
+
+    def fail(self) -> None:
+        """Mark the node as crashed at the current simulated time."""
+        if self.alive:
+            self.alive = False
+            self.failed_at = self.sim.now
 
     # -- performance shortcuts -------------------------------------------
     @property
@@ -132,6 +145,15 @@ class Cluster:
             if node.name == name:
                 return node
         raise KeyError(f"no node named {name!r}")
+
+    @property
+    def live_nodes(self) -> List[ServerNode]:
+        """Nodes that have not crashed (in cluster order)."""
+        return [n for n in self.nodes if n.alive]
+
+    @property
+    def dead_node_names(self) -> frozenset:
+        return frozenset(n.name for n in self.nodes if not n.alive)
 
     @property
     def total_cores(self) -> int:

@@ -63,6 +63,17 @@ class HDFS:
         """The §3.1.1 law: one map task per block."""
         return len(self.namenode.blocks_of(file))
 
+    def pick_source(self, block: Block, reader: ServerNode) -> str:
+        """Pick a *live* replica to serve a read of *block* on *reader*.
+
+        Identical to :meth:`NameNode.pick_replica` while every node is
+        up; once nodes crash, their replicas stop being eligible.  Raises
+        ``ValueError`` when no live replica remains (genuine data loss —
+        a job on replication-1 data cannot survive its only holder).
+        """
+        return self.namenode.pick_replica(
+            block, reader.name, exclude=self.cluster.dead_node_names)
+
     # -- primitive legs -------------------------------------------------------
     def _record(self, node: ServerNode, device: str, nbytes: float,
                 end: float, kind: str, task_id: Optional[str],
@@ -143,7 +154,7 @@ class HDFS:
                    task_id: Optional[str] = None, phase: str = "map",
                    io_factor: float = 1.0) -> Generator:
         """Read one whole block on *reader*; returns elapsed seconds."""
-        source = self.namenode.pick_replica(block, reader.name)
+        source = self.pick_source(block, reader)
         elapsed = yield from self.read_span(source, reader, block.size_bytes,
                                             task_id=task_id, phase=phase,
                                             io_factor=io_factor)

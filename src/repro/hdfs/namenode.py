@@ -69,9 +69,16 @@ class NameNode:
     def files(self) -> List[str]:
         return sorted(self._files)
 
-    def pick_replica(self, block: Block, reader: str) -> str:
-        """Closest replica: local if present, else deterministic remote."""
-        if block.is_local_to(reader):
+    def pick_replica(self, block: Block, reader: str,
+                     exclude: Sequence[str] = ()) -> str:
+        """Closest replica: local if present, else deterministic remote.
+
+        *exclude* names datanodes that must not serve the read (crashed
+        nodes under a fault plan).  With an empty *exclude* the choice is
+        identical to the pre-fault-model behaviour.
+        """
+        dead = set(exclude)
+        if reader not in dead and block.is_local_to(reader):
             return reader
         if not block.replicas:
             raise ValueError(f"block {block.block_id} has no replicas")
@@ -80,7 +87,11 @@ class NameNode:
         # randomized per process (PYTHONHASHSEED), which would make the
         # same simulation differ between processes and break the
         # result cache's fresh-equals-cached guarantee.
-        choices = sorted(block.replicas)
+        choices = sorted(r for r in block.replicas if r not in dead)
+        if not choices:
+            raise ValueError(
+                f"block {block.block_id} has no live replica "
+                f"(replicas {sorted(block.replicas)}, down {sorted(dead)})")
         spread = zlib.crc32(f"{block.block_id}:{reader}".encode())
         return choices[spread % len(choices)]
 

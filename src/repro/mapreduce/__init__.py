@@ -6,12 +6,12 @@ from .functional import (FunctionalJob, JobStats, LocalRuntime,
                          hash_partitioner, identity_mapper, identity_reducer,
                          run_pipeline)
 from .shuffle import MergePlan, SpillPlan, plan_reduce_merge, plan_spills
-from .tasks import MapTask, ReduceTask, RunCounters
+from .tasks import MapTask, ReduceTask, RunCounters, TaskAttemptError
 
 __all__ = [
     "DEFAULT_CONF", "JobConf", "HadoopJobRunner", "JobResult", "StageTiming",
     "simulate_job", "FunctionalJob", "JobStats", "LocalRuntime",
     "hash_partitioner", "identity_mapper", "identity_reducer", "run_pipeline",
     "MergePlan", "SpillPlan", "plan_reduce_merge", "plan_spills",
-    "MapTask", "ReduceTask", "RunCounters",
+    "MapTask", "ReduceTask", "RunCounters", "TaskAttemptError",
 ]

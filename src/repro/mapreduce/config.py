@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..sim.faults import FaultPlan
+
 __all__ = ["MB", "JobConf", "DEFAULT_CONF"]
 
 MB = 1024 * 1024
@@ -43,6 +45,21 @@ class JobConf:
         job_setup_instructions: per-job setup on the master ("others").
         job_cleanup_instructions: per-job cleanup ("others").
         heartbeat_s: task-dispatch latency per assignment.
+        max_attempts: attempts per task before the job fails
+            (``mapreduce.map.maxattempts``; Hadoop's default is 4).
+        retry_backoff_s: delay before re-enqueueing a failed attempt,
+            scaled by the number of failures so far.
+        speculative_execution: launch backup copies of straggling tasks
+            on idle slots (``mapreduce.map/reduce.speculative``).  Off by
+            default so fault-free runs match the pre-fault model exactly.
+        speculation_slowdown: an attempt must be progressing this many
+            times slower than the mean completed-attempt rate before a
+            backup is launched (the LATE slow-task threshold).
+        speculation_min_runtime_s: never speculate on attempts younger
+            than this — their progress rate is still noise.
+        fault_plan: optional :class:`~repro.sim.faults.FaultPlan` of
+            injected failures; ``None`` (or a quiet plan) reproduces the
+            fault-free behaviour bit-for-bit.
     """
 
     block_size_bytes: float = 128 * MB
@@ -57,8 +74,23 @@ class JobConf:
     job_setup_instructions: float = 4.0e9
     job_cleanup_instructions: float = 3.0e9
     heartbeat_s: float = 0.25
+    max_attempts: int = 4
+    retry_backoff_s: float = 3.0
+    speculative_execution: bool = False
+    speculation_slowdown: float = 2.0
+    speculation_min_runtime_s: float = 10.0
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry backoff must be non-negative")
+        if self.speculation_slowdown < 1.0:
+            raise ValueError("speculation_slowdown must be >= 1")
+        if self.speculation_min_runtime_s < 0:
+            raise ValueError("speculation_min_runtime_s must be "
+                             "non-negative")
         if self.block_size_bytes <= 0:
             raise ValueError("block size must be positive")
         if self.io_sort_bytes <= 0 or self.merge_memory_bytes <= 0:

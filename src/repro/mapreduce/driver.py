@@ -7,29 +7,51 @@ breakdowns treat the phases as sequential windows), chains multi-job
 applications (Grep, TeraSort), and finally folds the power model over the
 recorded activity trace.
 
+Scheduling is Hadoop-faithful at the granularity the study needs: every
+task execution is an *attempt*; failed attempts are retried with backoff
+up to ``JobConf.max_attempts``; idle slots steal work from the longest
+remaining queue (paying the remote-read cost); a crashed node's
+unfinished blocks are re-enqueued onto survivors and its already-produced
+map output is re-executed; and with ``speculative_execution`` on, a
+LATE-style scheduler launches backup copies of slow tasks — the first
+finisher wins and the loser is interrupted.  What fails, when, and by how
+much comes from the :class:`~repro.sim.faults.FaultPlan` attached to the
+job configuration; without one (or with a quiet plan) every fault code
+path is inert and results are bit-identical to a fault-free model.
+
 The public entry point is :func:`simulate_job`.
 """
 
 from __future__ import annotations
 
-import math
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Deque, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..arch.power import EnergyBreakdown, integrate_energy
 from ..arch.presets import FRAMEWORK_PROFILE, MachineSpec, machine
 from ..cluster.server import Cluster, ServerNode
-from ..hdfs.blocks import Block
 from ..hdfs.filesystem import HDFS
-from ..sim.engine import Simulator
+from ..sim.engine import Interrupt, Process, SimulationError, Simulator, Timeout
+from ..sim.faults import FaultPlan
+from ..sim.trace import merge_intervals
 from ..workloads.base import JobStage, WorkloadSpec, workload
 from .config import DEFAULT_CONF, JobConf
-from .tasks import MapTask, ReduceTask, RunCounters
+from .tasks import MapTask, ReduceTask, RunCounters, TaskAttemptError
 
 __all__ = ["StageTiming", "JobResult", "HadoopJobRunner", "simulate_job"]
 
 GB = 1024 ** 3
+
+#: How often an idle slot re-evaluates speculation candidates.  Progress
+#: rates decay with wall time, so eligibility can begin between the
+#: event-driven notifications (completions, requeues).
+_SPEC_POLL_S = 1.0
+
+#: Shared quiet plan used when the conf carries none, so the fault-free
+#: path runs the exact same code as a run under an empty plan.
+_NO_FAULTS = FaultPlan()
 
 
 @dataclass
@@ -85,6 +107,16 @@ class JobResult:
     def ipc(self) -> float:
         return self.counters.ipc
 
+    @property
+    def wasted_task_seconds(self) -> float:
+        """Slot-seconds burnt on attempts the job did not use."""
+        return self.counters.wasted_task_seconds
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Fraction of task slot-seconds lost to failures and kills."""
+        return self.counters.wasted_fraction
+
     def phase_time(self, phase: str) -> float:
         return self.phase_seconds.get(phase, 0.0)
 
@@ -96,6 +128,323 @@ class JobResult:
         if self.execution_time_s <= 0:
             return 0.0
         return self.phase_time(phase) / self.execution_time_s
+
+
+@dataclass
+class _Attempt:
+    """One running execution of a task on a slot."""
+
+    number: int
+    process: Process
+    node: ServerNode
+    task: object
+    started_at: float
+    speculative: bool = False
+
+
+@dataclass
+class _TaskRec:
+    """Scheduler-side state of one logical task across its attempts."""
+
+    task_id: str
+    payload: object  # Block for maps, {source: bytes} for reduces
+    failures: int = 0
+    attempts_launched: int = 0
+    done: bool = False
+    #: attempt number → running attempt
+    running: Dict[int, _Attempt] = field(default_factory=dict)
+    #: (result node name, output bytes, slot seconds) of the winning
+    #: attempt; revoked if that node later dies during the map phase.
+    completion: Optional[Tuple[str, float, float]] = None
+
+
+class _PhaseRunner:
+    """Schedules one phase (the maps or the reduces of one stage).
+
+    Owns the task records, the per-node queues, and the completion log;
+    implements claiming (own queue → steal → speculation), retry with
+    backoff, and crash recovery.  The stage generator waits on
+    :attr:`done_event`, which fires when every task has a winning attempt
+    or fails when a task exhausts its attempts.
+    """
+
+    def __init__(self, runner: "HadoopJobRunner", stage: JobStage,
+                 kind: str):
+        self.runner = runner
+        self.sim = runner.sim
+        self.conf = runner.conf
+        self.plan = runner.plan
+        self.counters = runner.counters
+        self.stage = stage
+        self.kind = kind  # "map" | "reduce"
+        self.records: Dict[str, _TaskRec] = {}
+        self.order: List[str] = []
+        self.queues: Dict[str, Deque[str]] = {}
+        #: Slots spawned / attempts running per node — the work-stealing
+        #: backlog test needs to know how much of a victim's queue its
+        #: own free slots are about to absorb.
+        self.slots: Dict[str, int] = {}
+        self.busy: Dict[str, int] = {}
+        self.outstanding = 0
+        self.done_event = runner.sim.event()
+        #: Records in winning-completion order — replayed by the stage to
+        #: accumulate outputs in the exact order the old inline
+        #: accumulation used (bit-identical float sums on quiet runs).
+        self.log: List[_TaskRec] = []
+        self._completed_rates: List[float] = []
+        self._wakeup = None
+
+    # -- setup ----------------------------------------------------------
+    def add_queue(self, node_name: str) -> None:
+        self.queues[node_name] = deque()
+        self.slots[node_name] = 0
+        self.busy[node_name] = 0
+
+    def add_task(self, task_id: str, payload: object, queue: str) -> None:
+        rec = _TaskRec(task_id, payload)
+        self.records[task_id] = rec
+        self.order.append(task_id)
+        self.queues[queue].append(task_id)
+        self.outstanding += 1
+
+    # -- idle-slot coordination -----------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.outstanding == 0 or self.done_event.triggered
+
+    def wait(self):
+        """(event to yield on, poll timeout to cancel afterwards)."""
+        if self._wakeup is None or self._wakeup.triggered:
+            self._wakeup = self.sim.event()
+        if self.conf.speculative_execution:
+            poll = self.sim.timeout(_SPEC_POLL_S)
+            return self.sim.any_of([self._wakeup, poll]), poll
+        return self._wakeup, None
+
+    def notify(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # -- claiming --------------------------------------------------------
+    def claim(self, node: ServerNode, process: Process
+              ) -> Optional[Tuple[_Attempt, _TaskRec]]:
+        """Hand *node*'s idle slot its next attempt, or None."""
+        if self.done_event.triggered:
+            return None  # phase over (or failed): stop dispatching
+        rec, speculative = self._pick(node)
+        if rec is None:
+            return None
+        task = self._build_task(rec, node, speculative)
+        att = _Attempt(number=task.attempt, process=process, node=node,
+                       task=task, started_at=self.sim.now,
+                       speculative=speculative)
+        rec.running[task.attempt] = att
+        self.busy[node.name] = self.busy.get(node.name, 0) + 1
+        return att, rec
+
+    def release_slot(self, node: ServerNode) -> None:
+        self.busy[node.name] = self.busy.get(node.name, 1) - 1
+
+    def _backlog(self, name: str) -> int:
+        """Queued tasks at *name* beyond what its own free slots will
+        absorb — the only part of a queue an idle remote slot may steal.
+        (A dead node has no free slots: its whole queue is backlog.)"""
+        q = self.queues[name]
+        if not q:
+            return 0
+        if not self.runner.cluster.node(name).alive:
+            return len(q)
+        free = self.slots.get(name, 0) - self.busy.get(name, 0)
+        return len(q) - max(0, free)
+
+    def _pick(self, node: ServerNode) -> Tuple[Optional[_TaskRec], bool]:
+        own = self.queues.get(node.name)
+        if own:
+            return self.records[own.popleft()], False
+        # Work stealing: an idle slot takes from the tail of the queue
+        # with the largest backlog (ties broken by node name), trading
+        # locality for parallelism like a slot-hungry Hadoop scheduler
+        # that has run out of local work.
+        victim: Optional[str] = None
+        victim_backlog = 0
+        for name in sorted(self.queues):
+            if name == node.name:
+                continue
+            backlog = self._backlog(name)
+            if backlog > victim_backlog:
+                victim, victim_backlog = name, backlog
+        if victim is not None:
+            return self.records[self.queues[victim].pop()], False
+        rec = self._speculation_candidate()
+        if rec is not None:
+            return rec, True
+        return None, False
+
+    def _speculation_candidate(self) -> Optional[_TaskRec]:
+        """LATE: the running task with the largest estimated time left,
+        among tasks progressing ``speculation_slowdown``× slower than the
+        mean completed-attempt rate."""
+        if not (self.conf.speculative_execution and self._completed_rates):
+            return None
+        mean_rate = sum(self._completed_rates) / len(self._completed_rates)
+        threshold = mean_rate / self.conf.speculation_slowdown
+        now = self.sim.now
+        best: Optional[_TaskRec] = None
+        best_left = 0.0
+        for tid in self.order:
+            rec = self.records[tid]
+            if rec.done or len(rec.running) != 1:
+                continue  # queued, already backed up, or finished
+            att = next(iter(rec.running.values()))
+            elapsed = now - att.started_at
+            if elapsed < self.conf.speculation_min_runtime_s:
+                continue
+            progress = max(att.task.progress, 1e-6)
+            rate = progress / elapsed
+            if rate > threshold:
+                continue
+            left = (1.0 - att.task.progress) / rate
+            if best is None or left > best_left:
+                best, best_left = rec, left
+        return best
+
+    def _build_task(self, rec: _TaskRec, node: ServerNode,
+                    speculative: bool):
+        n = rec.attempts_launched
+        rec.attempts_launched += 1
+        tid = rec.task_id
+        trace_id = tid if n == 0 else f"{tid}.a{n}"
+        fails = self.plan.attempt_fails(tid, n)
+        kw = dict(attempt=n,
+                  time_scale=self.plan.slowdown(tid, n),
+                  failure_point=(self.plan.failure_point(tid, n)
+                                 if fails else None))
+        if self.kind == "map":
+            task = MapTask(trace_id, node, self.runner.hdfs, self.stage,
+                           self.conf, self.counters, rec.payload, **kw)
+            self.counters.map_attempts += 1
+        else:
+            task = ReduceTask(trace_id, node, self.runner.hdfs, self.stage,
+                              self.conf, self.counters,
+                              self._live_sources(rec.payload), **kw)
+            self.counters.reduce_attempts += 1
+        if speculative:
+            self.counters.speculative_attempts += 1
+        return task
+
+    def _live_sources(self, sources: Dict[str, float]) -> Dict[str, float]:
+        """Remap shuffle shares held by dead nodes onto live ones.
+
+        Approximates Hadoop's fetch-failure → map-re-execution path for
+        crashes that land *after* the map phase: the lost partition is
+        served by a deterministically chosen survivor instead of
+        re-running the map (MODELING.md §8 documents the shortcut).
+        With no dead nodes the dict passes through untouched.
+        """
+        dead = self.runner.cluster.dead_node_names
+        if not dead or not dead.intersection(sources):
+            return sources
+        live = [n.name for n in self.runner.cluster.live_nodes]
+        if not live:
+            return sources
+        out = {k: v for k, v in sources.items() if k not in dead}
+        for name in sources:
+            if name in dead:
+                target = live[zlib.crc32(name.encode()) % len(live)]
+                out[target] = out.get(target, 0.0) + sources[name]
+        return out
+
+    # -- outcomes --------------------------------------------------------
+    def complete(self, rec: _TaskRec, att: _Attempt) -> None:
+        """First finisher wins; running duplicates are interrupted."""
+        if rec.done or self.done_event.triggered:
+            return
+        rec.done = True
+        duration = self.sim.now - att.started_at
+        rec.completion = (att.node.name, att.task.output_bytes, duration)
+        self.counters.task_seconds += duration
+        self._completed_rates.append(1.0 / duration)
+        if att.speculative:
+            self.counters.speculative_wins += 1
+        for loser in list(rec.running.values()):
+            loser.process.interrupt("lost the speculation race")
+        self.log.append(rec)
+        self.outstanding -= 1
+        if self.outstanding == 0:
+            self.done_event.succeed()
+        self.notify()
+
+    def attempt_failed(self, rec: _TaskRec, exc: TaskAttemptError) -> None:
+        rec.failures += 1
+        if rec.failures >= self.conf.max_attempts:
+            if not self.done_event.triggered:
+                err = RuntimeError(
+                    f"task {rec.task_id} failed "
+                    f"{rec.failures}/{self.conf.max_attempts} attempts")
+                err.__cause__ = exc
+                self.done_event.fail(err)
+                self.notify()
+            return
+        delay = self.conf.retry_backoff_s * rec.failures
+        if delay > 0:
+            self.sim.process(self._requeue_later(rec, delay))
+        else:
+            self._requeue(rec)
+
+    def _requeue_later(self, rec: _TaskRec, delay: float):
+        yield self.sim.timeout(delay)
+        if not self.done_event.triggered:
+            self._requeue(rec)
+
+    def _requeue(self, rec: _TaskRec) -> None:
+        """Re-enqueue onto the least-loaded live queue (ties: name order)."""
+        live = [name for name in sorted(self.queues)
+                if self.runner.cluster.node(name).alive]
+        if not live:
+            if not self.done_event.triggered:
+                self.done_event.fail(SimulationError(
+                    f"no live node left to run task {rec.task_id}"))
+                self.notify()
+            return
+        target = min(live, key=lambda name: len(self.queues[name]))
+        self.queues[target].append(rec.task_id)
+        self.notify()
+
+    # -- crash recovery ---------------------------------------------------
+    def handle_crash(self, node: ServerNode) -> None:
+        """A node died mid-phase: reassign its work to the survivors."""
+        name = node.name
+        queued = self.queues.get(name)
+        moved = list(queued) if queued else []
+        if queued:
+            queued.clear()
+        for tid in moved:
+            self._requeue(self.records[tid])
+        for tid in self.order:
+            rec = self.records[tid]
+            if rec.done:
+                continue
+            dead_atts = [a for a in rec.running.values() if a.node is node]
+            for att in dead_atts:
+                rec.running.pop(att.number, None)
+                att.process.interrupt("node crash")
+            if dead_atts and not rec.running:
+                self._requeue(rec)
+        if self.kind == "map":
+            # Map output lives on the mapper's local disk; losing the
+            # node loses it, so the task must be re-executed elsewhere
+            # (Hadoop re-schedules completed maps of a lost TaskTracker).
+            for tid in self.order:
+                rec = self.records[tid]
+                if rec.done and rec.completion and rec.completion[0] == name:
+                    rec.done = False
+                    self.counters.lost_map_outputs += 1
+                    self.counters.wasted_task_seconds += rec.completion[2]
+                    self.counters.task_seconds -= rec.completion[2]
+                    rec.completion = None
+                    self.log.remove(rec)
+                    self.outstanding += 1
+                    self._requeue(rec)
 
 
 class HadoopJobRunner:
@@ -139,8 +488,32 @@ class HadoopJobRunner:
         self.stage_timings: List[StageTiming] = []
         self._map_slots = map_slots_per_node
         self._reduce_slots = reduce_slots_per_node
+        self.plan: FaultPlan = (conf.fault_plan if conf.fault_plan is not None
+                                else _NO_FAULTS)
+        self._active_phase: Optional[_PhaseRunner] = None
+        self._watch_timeouts: List[Timeout] = []
+        self._apply_degradations()
+
+    def _apply_degradations(self) -> None:
+        """Fold the plan's disk/compute degradation into the nodes."""
+        for nf in self.plan.node_faults:
+            try:
+                node = self.cluster.node(nf.node)
+            except KeyError:
+                raise ValueError(
+                    f"fault plan names unknown node {nf.node!r}; cluster "
+                    f"has {[n.name for n in self.cluster.nodes]}") from None
+            if nf.disk_slowdown != 1.0:
+                node.disk.bandwidth /= nf.disk_slowdown
+            if nf.compute_slowdown != 1.0:
+                node.compute_scale *= nf.compute_slowdown
 
     # -- helpers -----------------------------------------------------------
+    def _master(self) -> ServerNode:
+        """Job-level framework work runs on the first live node."""
+        live = self.cluster.live_nodes
+        return live[0] if live else self.cluster.nodes[0]
+
     def _framework(self, node: ServerNode, instructions: float, kind: str):
         """Run framework code on *node* (job setup/cleanup, 'other' phase)."""
         perf = node.core_perf(FRAMEWORK_PROFILE)
@@ -151,50 +524,83 @@ class HadoopJobRunner:
                                activity=1.0, phase="other")
         self.counters.charge(instructions, seconds * node.freq_hz)
 
-    def _map_worker(self, node: ServerNode,
-                    queues: Dict[str, Deque[Block]],
-                    stage: JobStage, stage_index: int,
-                    map_out: Dict[str, float]):
-        """One map slot: drain the node's own queue, then steal."""
+    # -- slot workers ------------------------------------------------------
+    def _slot_worker(self, phase: _PhaseRunner, node: ServerNode,
+                     holder: List[Process]):
+        """One task slot: claim → run attempt → report, until the phase
+        ends.  Interrupts (speculation losses, node crashes) and injected
+        attempt failures are absorbed here; the slot keeps serving."""
+        proc = holder[0]
         while True:
-            block = self._claim(queues, node.name)
-            if block is None:
-                break
-            if self.conf.heartbeat_s > 0:
-                yield self.sim.timeout(self.conf.heartbeat_s)
-            task_id = f"s{stage_index}.m{block.index}"
-            task = MapTask(task_id, node, self.hdfs, stage, self.conf,
-                           self.counters, block)
-            yield from task.run()
-            map_out[node.name] = map_out.get(node.name, 0.0) + task.output_bytes
+            if not node.alive:
+                return
+            claimed = phase.claim(node, proc)
+            if claimed is None:
+                if phase.finished:
+                    return
+                event, poll = phase.wait()
+                try:
+                    yield event
+                finally:
+                    if poll is not None:
+                        poll.cancel()
+                continue
+            att, rec = claimed
+            try:
+                if self.conf.heartbeat_s > 0:
+                    yield self.sim.timeout(self.conf.heartbeat_s)
+                yield from att.task.run()
+            except Interrupt:
+                rec.running.pop(att.number, None)
+                phase.release_slot(node)
+                self.counters.killed_attempts += 1
+                self.counters.wasted_task_seconds += (self.sim.now
+                                                      - att.started_at)
+                continue
+            except TaskAttemptError as exc:
+                rec.running.pop(att.number, None)
+                phase.release_slot(node)
+                self.counters.failed_attempts += 1
+                self.counters.wasted_task_seconds += (self.sim.now
+                                                      - att.started_at)
+                phase.attempt_failed(rec, exc)
+                continue
+            rec.running.pop(att.number, None)
+            phase.release_slot(node)
+            phase.complete(rec, att)
 
-    @staticmethod
-    def _claim(queues: Dict[str, Deque[Block]], node_name: str
-               ) -> Optional[Block]:
-        """Pop from the node's own (primary-replica) queue, else steal.
+    def _spawn_workers(self, phase: _PhaseRunner, nodes: Sequence[ServerNode],
+                       slots_override: Optional[int],
+                       conf_slots: Optional[int]) -> None:
+        for node in nodes:
+            slots = min(slots_override or conf_slots or node.n_cores,
+                        node.n_cores)
+            phase.slots[node.name] = slots
+            for _ in range(slots):
+                holder: List[Process] = []
+                holder.append(self.sim.process(
+                    self._slot_worker(phase, node, holder)))
 
-        Blocks are pre-assigned to their primary replica's node, which is
-        what a locality-aware (delay-scheduling) Hadoop scheduler
-        converges to on a small fully-replicated cluster: each node
-        processes its own data share, which keeps both the input reads
-        and the spill/output I/O balanced.
-        """
-        own = queues.get(node_name)
-        if own:
-            return own.popleft()
-        return None
+    # -- crash watchers ----------------------------------------------------
+    def _crash_watcher(self, node: ServerNode, at: float):
+        t = self.sim.timeout(at)
+        self._watch_timeouts.append(t)
+        yield t
+        if not node.alive:
+            return
+        if len(self.cluster.live_nodes) <= 1:
+            return  # never kill the last survivor: the job must finish
+        node.fail()
+        self.counters.node_crashes += 1
+        self.cluster.trace.mark(self.sim.now, f"crash:{node.name}")
+        if self._active_phase is not None:
+            self._active_phase.handle_crash(node)
 
-    def _reduce_worker(self, node: ServerNode,
-                       queue: Deque[Tuple[str, Dict[str, float]]],
-                       stage: JobStage, out_acc: List[float]):
-        while queue:
-            task_id, sources = queue.popleft()
-            if self.conf.heartbeat_s > 0:
-                yield self.sim.timeout(self.conf.heartbeat_s)
-            task = ReduceTask(task_id, node, self.hdfs, stage, self.conf,
-                              self.counters, sources)
-            yield from task.run()
-            out_acc.append(task.output_bytes)
+    def _retire_watchers(self, _event) -> None:
+        """Cancel pending crash timeouts once the job finishes, so
+        recovery scaffolding never inflates the measured makespan."""
+        for t in self._watch_timeouts:
+            t.cancel()
 
     # -- stage execution ------------------------------------------------------
     def _run_stage(self, stage: JobStage, stage_index: int,
@@ -202,11 +608,11 @@ class HadoopJobRunner:
         """Process generator executing one MR job; returns output bytes."""
         timing = StageTiming(stage=stage.name, input_bytes=input_bytes)
         self.stage_timings.append(timing)
-        master = self.cluster.nodes[0]
 
         # Job setup ("others" in the breakdown figures).
         t0 = self.sim.now
-        yield from self._framework(master, self.conf.job_setup_instructions,
+        yield from self._framework(self._master(),
+                                   self.conf.job_setup_instructions,
                                    f"{stage.name}.setup")
         timing.setup_s = self.sim.now - t0
 
@@ -220,32 +626,38 @@ class HadoopJobRunner:
         # preferred core type, paying the remote-read cost).
         t_map = self.sim.now
         timing.map_start = t_map
-        map_nodes = [n for n in self.cluster.nodes
+        map_nodes = [n for n in self.cluster.live_nodes
                      if self._map_machines is None
                      or n.spec.name in self._map_machines]
+        if not map_nodes:
+            raise SimulationError("no live node eligible for map tasks")
         eligible = {n.name for n in map_nodes}
-        queues: Dict[str, Deque[Block]] = {n.name: deque()
-                                           for n in map_nodes}
+        mphase = _PhaseRunner(self, stage, "map")
+        for node in map_nodes:
+            mphase.add_queue(node.name)
         spill = 0
         for block in blocks:
             primary = block.replicas[0] if block.replicas else (
                 map_nodes[0].name)
-            if primary in eligible:
-                queues[primary].append(block)
-            else:
-                queues[map_nodes[spill % len(map_nodes)].name].append(block)
+            if primary not in eligible:
+                primary = map_nodes[spill % len(map_nodes)].name
                 spill += 1
-        map_out: Dict[str, float] = {}
-        workers = []
-        for node in map_nodes:
-            slots = (self._map_slots or self.conf.map_slots_per_node
-                     or node.n_cores)
-            for _ in range(min(slots, node.n_cores)):
-                workers.append(self.sim.process(
-                    self._map_worker(node, queues, stage, stage_index,
-                                     map_out)))
-        yield self.sim.all_of(workers)
+            mphase.add_task(f"s{stage_index}.m{block.index}", block, primary)
+        self._spawn_workers(mphase, map_nodes, self._map_slots,
+                            self.conf.map_slots_per_node)
+        self._active_phase = mphase
+        try:
+            yield mphase.done_event
+        finally:
+            self._active_phase = None
         timing.map_s = self.sim.now - t_map
+
+        # Replay the completion log in winning order so the float
+        # accumulation matches the old inline bookkeeping bit for bit.
+        map_out: Dict[str, float] = {}
+        for rec in mphase.log:
+            name, nbytes, _dur = rec.completion
+            map_out[name] = map_out.get(name, 0.0) + nbytes
 
         # Reduce phase.
         total_map_out = sum(map_out.values())
@@ -255,32 +667,35 @@ class HadoopJobRunner:
             # Reducer count is provisioned with the container capacity
             # (YARN sizes the reduce wave to the cluster): the workload's
             # reduces_per_node is calibrated for the default four slots.
-            reduce_nodes = [n for n in self.cluster.nodes
+            reduce_nodes = [n for n in self.cluster.live_nodes
                             if self._reduce_machines is None
                             or n.spec.name in self._reduce_machines]
+            if not reduce_nodes:
+                raise SimulationError(
+                    "no live node eligible for reduce tasks")
             node0 = reduce_nodes[0]
             slots0 = min(self._map_slots or self.conf.map_slots_per_node
                          or node0.n_cores, node0.n_cores)
             n_red = max(1, round(stage.reduces_per_node
                                  * len(reduce_nodes) * slots0 / 4.0))
             share = {name: nbytes / n_red for name, nbytes in map_out.items()}
-            rqueues: Dict[str, Deque] = {n.name: deque()
-                                         for n in reduce_nodes}
+            rphase = _PhaseRunner(self, stage, "reduce")
+            for node in reduce_nodes:
+                rphase.add_queue(node.name)
             for r in range(n_red):
                 node = reduce_nodes[r % len(reduce_nodes)]
-                rqueues[node.name].append((f"s{stage_index}.r{r}", share))
-            out_acc: List[float] = []
-            rworkers = []
-            for node in reduce_nodes:
-                slots = (self._reduce_slots
-                         or self.conf.reduce_slots_per_node or node.n_cores)
-                for _ in range(min(slots, node.n_cores)):
-                    rworkers.append(self.sim.process(
-                        self._reduce_worker(node, rqueues[node.name], stage,
-                                            out_acc)))
-            yield self.sim.all_of(rworkers)
+                rphase.add_task(f"s{stage_index}.r{r}", share, node.name)
+            self._spawn_workers(rphase, reduce_nodes, self._reduce_slots,
+                                self.conf.reduce_slots_per_node)
+            self._active_phase = rphase
+            try:
+                yield rphase.done_event
+            finally:
+                self._active_phase = None
             timing.reduce_s = self.sim.now - t_red
-            stage_output = sum(out_acc)
+            stage_output = 0.0
+            for rec in rphase.log:
+                stage_output += rec.completion[1]
         else:
             # Map-only stage (the paper's Sort): map output is the job
             # output and goes to HDFS with full replication — the fan-out
@@ -289,6 +704,8 @@ class HadoopJobRunner:
                 t_rep = self.sim.now
                 rep_procs = []
                 for node in self.cluster.nodes:
+                    if not node.alive:
+                        continue
                     nbytes = map_out.get(node.name, 0.0)
                     if nbytes > 0:
                         rep_procs.append(self.sim.process(self.hdfs.write(
@@ -302,7 +719,8 @@ class HadoopJobRunner:
 
         # Job cleanup.
         t1 = self.sim.now
-        yield from self._framework(master, self.conf.job_cleanup_instructions,
+        yield from self._framework(self._master(),
+                                   self.conf.job_cleanup_instructions,
                                    f"{stage.name}.cleanup")
         timing.cleanup_s = self.sim.now - t1
         timing.output_bytes = stage_output
@@ -311,8 +729,11 @@ class HadoopJobRunner:
     def _record_uncore(self, makespan: float) -> None:
         """Charge the per-node uncore/DRAM job-active floor.
 
-        One interval per node per phase window, so the floor is split
-        across the map/reduce/other phases exactly as wall time is.
+        Map and reduce windows come from the stage timings; "other" is
+        the complement of their merged union within ``[0, makespan]``
+        (setup, cleanup, inter-stage gaps), so windows never overlap and
+        every simulated second is charged exactly once per node.  A
+        crashed node stops drawing power at its failure time.
         """
         windows = []
         for t in self.stage_timings:
@@ -321,14 +742,23 @@ class HadoopJobRunner:
             if t.reduce_s > 0:
                 windows.append((t.reduce_start,
                                 t.reduce_start + t.reduce_s, "reduce"))
-        other = makespan - sum(e - s for s, e, _ in windows)
-        if other > 0:
-            windows.append((0.0, other, "other"))
+        busy = merge_intervals([(s, e) for s, e, _ in windows])
+        cursor = 0.0
+        for s, e in busy:
+            if s > cursor:
+                windows.append((cursor, s, "other"))
+            cursor = max(cursor, e)
+        if makespan > cursor:
+            windows.append((cursor, makespan, "other"))
         for node in self.cluster.nodes:
+            limit = (node.failed_at if node.failed_at is not None
+                     else makespan)
             for start, end, phase in windows:
-                self.cluster.trace.add(start, end, node.name, "uncore",
-                                       "job.active", activity=1.0,
-                                       phase=phase)
+                end = min(end, limit)
+                if end > start:
+                    self.cluster.trace.add(start, end, node.name, "uncore",
+                                           "job.active", activity=1.0,
+                                           phase=phase)
 
     def _run_job(self):
         original = self.data_per_node_bytes * len(self.cluster.nodes)
@@ -341,10 +771,18 @@ class HadoopJobRunner:
 
     # -- public ---------------------------------------------------------------
     def run(self) -> JobResult:
+        for nf in self.plan.node_faults:
+            if nf.crash_at_s is not None:
+                self.sim.process(self._crash_watcher(
+                    self.cluster.node(nf.node), nf.crash_at_s))
         done = self.sim.process(self._run_job())
+        # Registering a callback makes the process *store* a failure
+        # instead of re-raising it inside the event loop, so run() can
+        # re-raise below with the root cause chained on.
+        done.add_callback(self._retire_watchers)
         self.sim.run()
         if not done.ok:
-            raise RuntimeError("job process failed")
+            raise RuntimeError("job process failed") from done.exception
         execution_time = self.sim.now
         self._record_uncore(execution_time)
         energy = integrate_energy(self.cluster.trace,
@@ -382,7 +820,8 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
                  cores_per_node: Optional[int] = None,
                  conf: JobConf = DEFAULT_CONF,
                  map_slots_per_node: Optional[int] = None,
-                 reduce_slots_per_node: Optional[int] = None) -> JobResult:
+                 reduce_slots_per_node: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> JobResult:
     """Run one Hadoop application on a fresh homogeneous cluster.
 
     This is the reproduction's workhorse: every figure and table runs
@@ -400,11 +839,14 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
         conf: base job configuration.
         map_slots_per_node / reduce_slots_per_node: slot overrides;
             default to the active core count (mappers = cores, §3.5).
+        fault_plan: injected failures; overrides ``conf.fault_plan``.
     """
     mspec = machine(machine_spec) if isinstance(machine_spec, str) else machine_spec
     wspec = workload(workload_spec) if isinstance(workload_spec, str) else workload_spec
     if block_size_mb is not None:
         conf = conf.with_block_size_mb(block_size_mb)
+    if fault_plan is not None:
+        conf = conf.override(fault_plan=fault_plan)
     sim = Simulator()
     cluster = Cluster.homogeneous(sim, mspec, n_nodes, freq_ghz,
                                   cores_per_node=cores_per_node)

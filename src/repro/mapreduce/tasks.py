@@ -30,7 +30,7 @@ from ..workloads.base import IO_PATH_PROFILE, JobStage
 from .config import JobConf
 from .shuffle import plan_reduce_merge, plan_spills
 
-__all__ = ["RunCounters", "MapTask", "ReduceTask"]
+__all__ = ["RunCounters", "MapTask", "ReduceTask", "TaskAttemptError"]
 
 #: Residual core activity while a task sits in an I/O wait (OS + polling).
 _WAIT_ACTIVITY = 0.06
@@ -44,9 +44,32 @@ _REDUCE_WS_REF_BYTES = 128 * 1024 * 1024
 _SPILL_IO_FACTOR = 0.4
 
 
+class TaskAttemptError(RuntimeError):
+    """An injected task-attempt failure (the attempt, not the job).
+
+    Raised from inside a task's ``run()`` generator when the attempt
+    crosses its fault-plan failure point; the driver catches it and
+    retries the task up to ``JobConf.max_attempts`` times.
+    """
+
+    def __init__(self, task_id: str, attempt: int, progress: float):
+        super().__init__(
+            f"attempt {attempt} of task {task_id} failed at "
+            f"{progress:.0%} progress")
+        self.task_id = task_id
+        self.attempt = attempt
+        self.progress = progress
+
+
 @dataclass
 class RunCounters:
-    """Whole-run accounting used for IPC and data-flow reporting."""
+    """Whole-run accounting used for IPC and data-flow reporting.
+
+    ``map_tasks``/``reduce_tasks`` count *successful* task executions
+    (a map re-executed after its output died with a node counts twice,
+    mirroring Hadoop's relaunch counters).  The attempt-level fields are
+    maintained by the driver and stay zero on fault-free runs.
+    """
 
     instructions: float = 0.0
     cycles: float = 0.0
@@ -58,6 +81,27 @@ class RunCounters:
     shuffle_bytes: float = 0.0
     output_bytes: float = 0.0
     spills: int = 0
+    # -- fault/recovery accounting (driver-maintained) ------------------
+    map_attempts: int = 0
+    reduce_attempts: int = 0
+    failed_attempts: int = 0
+    killed_attempts: int = 0
+    speculative_attempts: int = 0
+    speculative_wins: int = 0
+    node_crashes: int = 0
+    lost_map_outputs: int = 0
+    #: Slot-seconds burnt by attempts that did not produce the winning
+    #: result (failed, killed, or lost to a crash) — the recovery
+    #: overhead the fault sweep charges against EDP.
+    wasted_task_seconds: float = 0.0
+    #: Slot-seconds of the attempts whose results the job actually used.
+    task_seconds: float = 0.0
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Share of all task slot-seconds burnt on non-winning attempts."""
+        total = self.wasted_task_seconds + self.task_seconds
+        return self.wasted_task_seconds / total if total > 0 else 0.0
 
     @property
     def ipc(self) -> float:
@@ -77,7 +121,11 @@ class _TaskBase:
     phase = "other"
 
     def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
-                 stage: JobStage, conf: JobConf, counters: RunCounters):
+                 stage: JobStage, conf: JobConf, counters: RunCounters,
+                 *, attempt: int = 0, time_scale: float = 1.0,
+                 failure_point: Optional[float] = None):
+        if time_scale < 1.0:
+            raise ValueError("time_scale must be >= 1")
         self.task_id = task_id
         self.node = node
         self.hdfs = hdfs
@@ -86,6 +134,34 @@ class _TaskBase:
         self.counters = counters
         self.sim = node.sim
         self.trace = hdfs.cluster.trace
+        #: Which retry of the task this execution is (0 = first try).
+        self.attempt = attempt
+        #: Straggler factor (fault plan) — every compute second stretches
+        #: by this much.  Multiplied with the node's own compute_scale.
+        self.time_scale = time_scale
+        #: Progress fraction at which this attempt dies with
+        #: :class:`TaskAttemptError` (None = attempt succeeds).
+        self.failure_point = failure_point
+        #: Coarse progress fraction in [0, 1], updated at milestone
+        #: granularity — what the speculative scheduler reads.
+        self.progress = 0.0
+
+    def _slow(self) -> float:
+        """Combined slowdown on compute time for this attempt."""
+        return self.time_scale * self.node.compute_scale
+
+    def _progress_to(self, p: float) -> None:
+        """Advance the progress estimate, dying at the failure point.
+
+        The failure fires when progress *crosses* the threshold, so the
+        attempt has already burnt the simulated time and energy up to
+        that milestone — wasted work the recovery accounting picks up.
+        """
+        crossed = (self.failure_point is not None
+                   and self.progress < self.failure_point <= p)
+        self.progress = p
+        if crossed:
+            raise TaskAttemptError(self.task_id, self.attempt, p)
 
     # -- CPU ------------------------------------------------------------
     def _compute(self, profile: CpuProfile, instructions: float, kind: str,
@@ -94,7 +170,7 @@ class _TaskBase:
         if instructions <= 0:
             return None
         perf = self.node.core_perf(profile)
-        seconds = perf.seconds_for(instructions)
+        seconds = perf.seconds_for(instructions) * self._slow()
         start = self.sim.now
         yield self.sim.timeout(seconds)
         activity = 1.0 if device == "fw" else perf.activity
@@ -144,6 +220,7 @@ class _TaskBase:
         t_wait = self.sim.now - t0
         instr, t_cpu, activity = self._io_cpu_bill(nbytes, user_ipb,
                                                    user_profile)
+        t_cpu *= self._slow()
         residual = max(0.0, t_cpu - core.io_overlap * t_wait)
         # Activity during the wait window accounts for the compute that
         # executed under the transfer, conserving compute energy.
@@ -182,17 +259,20 @@ class MapTask(_TaskBase):
 
     def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
                  stage: JobStage, conf: JobConf, counters: RunCounters,
-                 block: Block):
-        super().__init__(task_id, node, hdfs, stage, conf, counters)
+                 block: Block, **attempt_kw):
+        super().__init__(task_id, node, hdfs, stage, conf, counters,
+                         **attempt_kw)
         self.block = block
         self.output_bytes = 0.0
 
     def run(self) -> Generator:
         yield from self._startup()
-        source = self.hdfs.namenode.pick_replica(self.block, self.node.name)
+        source = self.hdfs.pick_source(self.block, self.node)
 
-        # Chunked read/compute pipeline over the block.
-        remaining = self.block.size_bytes
+        # Chunked read/compute pipeline over the block.  The read loop
+        # covers progress 0 → 0.9; sort/spill/merge is the final 10%.
+        total = self.block.size_bytes
+        remaining = total
         while remaining > 0:
             chunk = min(self.conf.chunk_bytes, remaining)
             remaining -= chunk
@@ -204,6 +284,7 @@ class MapTask(_TaskBase):
                 transfer, chunk, "map.read",
                 user_ipb=self.stage.map_ipb,
                 user_profile=self.stage.map_profile)
+            self._progress_to(0.9 * (total - remaining) / total)
         self.counters.input_bytes += self.block.size_bytes
 
         # Map-side sort, spill and merge.
@@ -233,6 +314,7 @@ class MapTask(_TaskBase):
                 yield from self._overlapped_io(transfer,
                                                plan.disk_read_bytes,
                                                "map.merge")
+        self._progress_to(1.0)
         self.counters.map_tasks += 1
         return self.output_bytes
 
@@ -244,9 +326,10 @@ class ReduceTask(_TaskBase):
 
     def __init__(self, task_id: str, node: ServerNode, hdfs: HDFS,
                  stage: JobStage, conf: JobConf, counters: RunCounters,
-                 source_bytes: Dict[str, float]):
+                 source_bytes: Dict[str, float], **attempt_kw):
         """*source_bytes*: node name → bytes this reducer fetches from it."""
-        super().__init__(task_id, node, hdfs, stage, conf, counters)
+        super().__init__(task_id, node, hdfs, stage, conf, counters,
+                         **attempt_kw)
         self.source_bytes = dict(source_bytes)
         self.output_bytes = 0.0
 
@@ -255,6 +338,9 @@ class ReduceTask(_TaskBase):
         partition = sum(self.source_bytes.values())
 
         # Shuffle: fetch each node's contribution (local disk or network).
+        # Shuffle covers progress 0 → 0.6; merge 0.8, user code 0.9,
+        # output write 1.0.
+        fetched = 0.0
         for source_name in sorted(self.source_bytes):
             nbytes = self.source_bytes[source_name]
             if nbytes <= 0:
@@ -264,6 +350,9 @@ class ReduceTask(_TaskBase):
                                            phase=self.phase,
                                            io_factor=self.stage.io_path_factor)
             yield from self._overlapped_io(transfer, nbytes, "shuffle")
+            fetched += nbytes
+            if partition > 0:
+                self._progress_to(0.6 * fetched / partition)
         self.counters.shuffle_bytes += partition
 
         # Reduce-side merge.
@@ -284,6 +373,7 @@ class ReduceTask(_TaskBase):
                 io_factor=self.stage.io_path_factor * _SPILL_IO_FACTOR)
             yield from self._overlapped_io(transfer, merge.disk_read_bytes,
                                            "reduce.merge")
+        self._progress_to(0.8)
 
         # User reduce function.  Aggregation state (count tables, merge
         # heaps) grows with the partition, so the profile's working set
@@ -296,6 +386,7 @@ class ReduceTask(_TaskBase):
                                     working_set_factor=min(ws_factor, 6.0))
             yield from self._compute(
                 profile, partition * self.stage.reduce_ipb, "reduce.user")
+        self._progress_to(0.9)
 
         # Replicated output write.
         out = partition * self.stage.reduce_output_ratio
@@ -307,5 +398,6 @@ class ReduceTask(_TaskBase):
                                        io_factor=self.stage.io_path_factor,
                                        replication=self.stage.output_replication)
             yield from self._overlapped_io(transfer, out, "reduce.write")
+        self._progress_to(1.0)
         self.counters.reduce_tasks += 1
         return self.output_bytes

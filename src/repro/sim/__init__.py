@@ -2,12 +2,13 @@
 
 from .engine import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
                      Simulator, Timeout)
+from .faults import FaultPlan, NodeFault, unit_draw
 from .resources import BandwidthDevice, Request, Resource, UsageStats
 from .trace import Interval, TraceRecorder, merge_intervals, total_overlap
 
 __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
-    "Simulator", "Timeout", "BandwidthDevice", "Request", "Resource",
-    "UsageStats", "Interval", "TraceRecorder", "merge_intervals",
-    "total_overlap",
+    "Simulator", "Timeout", "FaultPlan", "NodeFault", "unit_draw",
+    "BandwidthDevice", "Request", "Resource", "UsageStats", "Interval",
+    "TraceRecorder", "merge_intervals", "total_overlap",
 ]

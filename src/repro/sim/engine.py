@@ -39,6 +39,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "Interrupt",
     "AllOf",
     "AnyOf",
     "Simulator",
@@ -58,7 +59,8 @@ class Event:
     registered callback exactly once, in registration order.
     """
 
-    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value", "_exc")
+    __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value",
+                 "_exc", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -67,6 +69,7 @@ class Event:
         self._processed = False
         self.value: Any = None
         self._exc: Optional[BaseException] = None
+        self._cancelled = False
 
     # -- state ---------------------------------------------------------
     @property
@@ -83,6 +86,30 @@ class Event:
     def ok(self) -> bool:
         """True if the event fired successfully (no exception)."""
         return self._triggered and self._exc is None
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, if any."""
+        return self._exc
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self) -> None:
+        """Discard a scheduled-but-unfired event without running it.
+
+        The engine skips cancelled events entirely: callbacks never run
+        and — crucially for :class:`Timeout` — the simulation clock does
+        **not** advance to the event's scheduled time.  This is how the
+        fault machinery retires pending crash watchers once a job
+        finishes, so recovery scaffolding can never inflate a makespan.
+        Cancelling an already-processed event is a no-op.
+        """
+        if not self._processed:
+            self._cancelled = True
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -327,6 +354,9 @@ class Simulator:
         """
         while self._queue:
             when, _seq, event = self._queue[0]
+            if event._cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -341,16 +371,18 @@ class Simulator:
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""
-        if not self._queue:
-            return False
-        when, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError(
-                f"time travel: event at {when} < now {self._now}")
-        self._now = when
-        self.event_count += 1
-        event._fire()
-        return True
+        while self._queue:
+            when, _seq, event = heapq.heappop(self._queue)
+            if event._cancelled:
+                continue
+            if when < self._now:
+                raise SimulationError(
+                    f"time travel: event at {when} < now {self._now}")
+            self._now = when
+            self.event_count += 1
+            event._fire()
+            return True
+        return False
 
     @property
     def pending(self) -> int:

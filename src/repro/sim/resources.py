@@ -181,8 +181,13 @@ class BandwidthDevice:
         """
         start = self.sim.now
         req = self._servers.request()
-        yield req
+        # The request itself sits inside the try so an Interrupt thrown
+        # while queued still releases (Resource.release knows how to
+        # withdraw a never-granted request) — without this, a task killed
+        # by the fault machinery mid-queue would leak a channel and
+        # deadlock every later transfer on the device.
         try:
+            yield req
             began = self.sim.now
             self.stats.acquisitions += 1
             self.stats.total_wait += began - start

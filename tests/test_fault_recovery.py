@@ -1,0 +1,148 @@
+"""Integration tests: fault injection, retries, recovery, speculation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.config import DEFAULT_CONF
+from repro.mapreduce.driver import simulate_job
+from repro.mapreduce.tasks import TaskAttemptError
+from repro.sim.faults import FaultPlan, NodeFault
+
+ATOM_NODES = ("atom0", "atom1", "atom2")
+
+
+def _baseline(machine="atom", workload="wordcount", **kw):
+    return simulate_job(machine, workload, **kw)
+
+
+class TestQuietPlan:
+    def test_quiet_plan_is_bit_identical_to_no_plan(self):
+        base = _baseline()
+        quiet = _baseline(fault_plan=FaultPlan(seed=3))
+        assert quiet.execution_time_s == base.execution_time_s
+        assert quiet.dynamic_energy_j == base.dynamic_energy_j
+        assert quiet.phase_seconds == base.phase_seconds
+
+    def test_zero_rate_plan_is_bit_identical(self):
+        base = _baseline()
+        plan = FaultPlan.with_crash_rate(11, ATOM_NODES, 0.0)
+        assert plan.is_quiet
+        r = _baseline(fault_plan=plan)
+        assert r.execution_time_s == base.execution_time_s
+        assert r.dynamic_energy_j == base.dynamic_energy_j
+
+    def test_fault_runs_are_deterministic(self):
+        plan = FaultPlan(seed=5, node_faults=(
+            NodeFault("atom1", crash_at_s=40.0),), task_fail_prob=0.05)
+        a = _baseline(fault_plan=plan)
+        b = _baseline(fault_plan=plan)
+        assert a.execution_time_s == b.execution_time_s
+        assert a.dynamic_energy_j == b.dynamic_energy_j
+        assert a.counters.map_attempts == b.counters.map_attempts
+
+    def test_unknown_node_in_plan_rejected(self):
+        plan = FaultPlan(node_faults=(NodeFault("nosuch9", crash_at_s=1.0),))
+        with pytest.raises(ValueError, match="unknown node"):
+            _baseline(fault_plan=plan)
+
+
+class TestNodeCrash:
+    def test_mid_map_crash_completes_on_survivors(self):
+        base = _baseline()
+        plan = FaultPlan(node_faults=(NodeFault("atom1", crash_at_s=60.0),))
+        r = _baseline(fault_plan=plan)
+        c = r.counters
+        assert c.node_crashes == 1
+        # The job finished, but strictly later and with re-executed work.
+        assert r.execution_time_s > base.execution_time_s
+        assert c.map_attempts > c.map_tasks
+        assert c.wasted_task_seconds > 0
+        assert 0 < r.recovery_overhead < 1
+        assert r.wasted_task_seconds == c.wasted_task_seconds
+
+    def test_crash_after_first_wave_loses_map_output(self):
+        plan = FaultPlan(node_faults=(NodeFault("atom1", crash_at_s=60.0),))
+        r = _baseline(fault_plan=plan)
+        # By t=60 the first map wave on atom1 has committed; its output
+        # dies with the node and those maps run again elsewhere.
+        assert r.counters.lost_map_outputs > 0
+
+    def test_crash_never_kills_last_survivor(self):
+        plan = FaultPlan(node_faults=(
+            NodeFault("atom0", crash_at_s=5.0),
+            NodeFault("atom1", crash_at_s=6.0),
+            NodeFault("atom2", crash_at_s=7.0),
+        ))
+        r = _baseline(fault_plan=plan, data_per_node_gb=0.25)
+        assert r.counters.node_crashes == 2  # the third is spared
+        assert r.execution_time_s > 0
+
+    def test_degraded_disk_slows_job(self):
+        # On the big core the disk (not the CPU-coupled I/O path) binds
+        # the Sort data path, so a slow spindle must show up end to end.
+        base = _baseline("xeon", "sort")
+        plan = FaultPlan(node_faults=tuple(
+            NodeFault(f"xeon{i}", disk_slowdown=8.0) for i in range(3)))
+        r = _baseline("xeon", "sort", fault_plan=plan)
+        assert r.execution_time_s > base.execution_time_s
+
+    def test_degraded_compute_slows_job(self):
+        base = _baseline()
+        plan = FaultPlan(node_faults=tuple(
+            NodeFault(n, compute_slowdown=3.0) for n in ATOM_NODES))
+        r = _baseline(fault_plan=plan)
+        assert r.execution_time_s > base.execution_time_s
+
+
+class TestRetries:
+    def test_transient_failures_are_retried_to_completion(self):
+        plan = FaultPlan(seed=1, task_fail_prob=0.15)
+        r = _baseline("xeon", "wordcount", fault_plan=plan,
+                      data_per_node_gb=0.5)
+        c = r.counters
+        assert c.failed_attempts > 0
+        assert c.map_attempts + c.reduce_attempts == (
+            c.map_tasks + c.reduce_tasks + c.failed_attempts
+            + c.killed_attempts)
+        assert c.wasted_task_seconds > 0
+
+    def test_exhausted_attempts_fail_job_with_cause_chain(self):
+        plan = FaultPlan(seed=1, task_fail_prob=1.0)
+        with pytest.raises(RuntimeError, match="job process failed") as info:
+            _baseline("xeon", "wordcount", fault_plan=plan,
+                      data_per_node_gb=0.25)
+        cause = info.value.__cause__
+        assert isinstance(cause, RuntimeError)
+        assert "4/4 attempts" in str(cause)
+        assert isinstance(cause.__cause__, TaskAttemptError)
+
+    def test_max_attempts_is_configurable(self):
+        plan = FaultPlan(seed=1, task_fail_prob=1.0)
+        conf = DEFAULT_CONF.override(max_attempts=2, fault_plan=plan)
+        with pytest.raises(RuntimeError) as info:
+            simulate_job("xeon", "wordcount", conf=conf,
+                         data_per_node_gb=0.25)
+        assert "2/2 attempts" in str(info.value.__cause__)
+
+
+class TestSpeculation:
+    SLOW = FaultPlan(slow_tasks=(("s0.m0", 4.0),))
+
+    def test_speculation_strictly_reduces_makespan(self):
+        without = _baseline(fault_plan=self.SLOW)
+        conf = DEFAULT_CONF.override(speculative_execution=True,
+                                     fault_plan=self.SLOW)
+        with_spec = simulate_job("atom", "wordcount", conf=conf)
+        assert with_spec.execution_time_s < without.execution_time_s
+        c = with_spec.counters
+        assert c.speculative_attempts >= 1
+        assert c.speculative_wins >= 1
+        assert c.killed_attempts >= 1  # the straggler lost the race
+
+    def test_speculation_is_idle_on_healthy_runs(self):
+        base = _baseline()
+        conf = DEFAULT_CONF.override(speculative_execution=True)
+        r = simulate_job("atom", "wordcount", conf=conf)
+        assert r.counters.speculative_attempts == 0
+        assert r.execution_time_s == base.execution_time_s

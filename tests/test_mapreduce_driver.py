@@ -95,6 +95,79 @@ class TestStructure:
         assert c.spills >= c.map_tasks
 
 
+class TestWorkStealing:
+    def test_idle_slots_steal_from_skewed_placement(self, monkeypatch):
+        """All primaries on one node must not serialize the map phase."""
+        from repro.hdfs.namenode import NameNode
+        balanced = simulate_job("xeon", "wordcount", data_per_node_gb=0.5)
+
+        original = NameNode.place_block
+
+        def skewed(self, block, writer=None):
+            return original(self, block, writer=self.node_names[0])
+
+        monkeypatch.setattr(NameNode, "place_block", skewed)
+        skew = simulate_job("xeon", "wordcount", data_per_node_gb=0.5)
+        # Stealing spreads node 0's queue across all three nodes'
+        # slots, so the makespan stays near the balanced one instead of
+        # the ~3x a single node working alone would take.
+        assert skew.execution_time_s < 1.5 * balanced.execution_time_s
+
+    def test_balanced_quiet_run_matches_itself(self):
+        """Backlog-aware stealing must not fire on balanced queues: two
+        identical runs stay bit-identical (no spurious remote reads)."""
+        a = simulate_job("atom", "terasort", data_per_node_gb=0.5)
+        b = simulate_job("atom", "terasort", data_per_node_gb=0.5)
+        assert a.execution_time_s == b.execution_time_s
+        assert a.dynamic_energy_j == b.dynamic_energy_j
+
+
+class TestUncoreAccounting:
+    def _uncore_windows(self, workload="grep"):
+        from repro.arch.presets import machine
+        from repro.cluster.server import Cluster
+        from repro.mapreduce.driver import HadoopJobRunner
+        from repro.sim.engine import Simulator
+        from repro.workloads.base import workload as get_workload
+
+        sim = Simulator()
+        cluster = Cluster.homogeneous(sim, machine("xeon"), 3, 1.8)
+        runner = HadoopJobRunner(cluster, get_workload(workload),
+                                 DEFAULT_CONF, 0.5 * GB)
+        result = runner.run()
+        spans = [(iv.start, iv.end, iv.phase)
+                 for iv in cluster.trace.filter(node="xeon0",
+                                                device="uncore")]
+        return result, spans
+
+    def test_windows_partition_the_makespan(self):
+        result, spans = self._uncore_windows()
+        total = sum(e - s for s, e, _ in spans)
+        assert total == pytest.approx(result.execution_time_s, rel=1e-9)
+
+    def test_windows_never_overlap(self):
+        _, spans = self._uncore_windows()
+        ordered = sorted((s, e) for s, e, _ in spans)
+        for (_, prev_end), (start, _) in zip(ordered, ordered[1:]):
+            assert start >= prev_end - 1e-12
+
+    def test_other_windows_are_complement_of_map_reduce(self):
+        """Regression: 'other' used to be charged as (0, other_seconds),
+        overlapping the map window instead of complementing it."""
+        result, spans = self._uncore_windows()
+        other = sorted((s, e) for s, e, p in spans if p == "other")
+        busy = sorted((s, e) for s, e, p in spans if p != "other")
+        assert other, "multi-stage job must have inter-stage gaps"
+        assert busy
+        first_busy_start = busy[0][0]
+        # The leading setup gap ends exactly where the first map begins.
+        assert other[0][0] == 0.0
+        assert any(abs(e - first_busy_start) < 1e-9 for _, e in other)
+        for o_start, o_end in other:
+            for b_start, b_end in busy:
+                assert o_end <= b_start + 1e-9 or o_start >= b_end - 1e-9
+
+
 class TestConfiguration:
     def test_more_data_takes_longer(self, characterizer):
         small = characterizer.run(RunKey("xeon", "wordcount",

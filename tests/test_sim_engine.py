@@ -254,6 +254,123 @@ class TestCombinators:
             sim.any_of([])
 
 
+class TestCancellation:
+    def test_cancelled_timeout_does_not_advance_clock(self):
+        sim = Simulator()
+        t = sim.timeout(100.0)
+
+        def proc(sim):
+            yield sim.timeout(2.0)
+
+        sim.process(proc(sim))
+        t.cancel()
+        assert sim.run() == 2.0  # the cancelled 100s never fired
+
+    def test_cancel_after_processing_is_noop(self):
+        sim = Simulator()
+        t = sim.timeout(1.0)
+        sim.run()
+        t.cancel()
+        assert t.processed
+        assert not t.cancelled
+
+    def test_step_skips_cancelled_events(self):
+        sim = Simulator()
+        t1 = sim.timeout(1.0)
+        sim.timeout(2.0)
+        t1.cancel()
+        assert sim.step()
+        assert sim.now == 2.0
+
+
+class TestFailurePaths:
+    def test_interrupt_during_timeout_ignores_stale_firing(self):
+        sim = Simulator()
+        out = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                yield sim.timeout(1)
+                out.append(sim.now)
+
+        proc = sim.process(sleeper(sim))
+
+        def interrupter(sim, target):
+            yield sim.timeout(3)
+            target.interrupt()
+
+        sim.process(interrupter(sim, proc))
+        sim.run()
+        # Resumed exactly once after the interrupt; the abandoned 100s
+        # timeout fires into the stale-wakeup guard and is dropped.
+        assert out == [4.0]
+
+    def test_any_of_with_failing_child_propagates(self):
+        sim = Simulator()
+        out = []
+
+        def failing(sim):
+            yield sim.timeout(1)
+            raise ValueError("child died")
+
+        def waiter(sim):
+            try:
+                yield sim.any_of([sim.process(failing(sim)),
+                                  sim.timeout(50)])
+            except ValueError as exc:
+                out.append((sim.now, str(exc)))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert out == [(1.0, "child died")]
+
+    def test_crash_propagates_to_every_waiter(self):
+        sim = Simulator()
+        out = []
+
+        def failing(sim):
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        def waiter(sim, tag, target):
+            try:
+                yield target
+            except ValueError:
+                out.append(tag)
+
+        target = sim.process(failing(sim))
+        sim.process(waiter(sim, "a", target))
+        sim.process(waiter(sim, "b", target))
+        sim.run()
+        assert sorted(out) == ["a", "b"]
+
+    def test_watched_process_stores_failure(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1)
+            raise ValueError("stored")
+
+        proc = sim.process(failing(sim))
+        proc.add_callback(lambda e: None)
+        sim.run()  # does not raise: the failure is stored, not re-raised
+        assert not proc.ok
+        assert isinstance(proc.exception, ValueError)
+
+    def test_interrupting_finished_process_is_noop(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        p.interrupt()  # must not schedule anything
+        assert sim.pending == 0
+
+
 class TestSimulator:
     def test_run_until_stops_clock(self):
         sim = Simulator()

@@ -247,8 +247,8 @@ def _simulate_worker(key: RunKey, conf: JobConf) -> JobResult:
 def run_cells(keys: Sequence[RunKey],
               conf: JobConf = DEFAULT_CONF,
               jobs: Optional[int] = 1,
-              cache: Optional[ResultCache] = None
-              ) -> Dict[RunKey, JobResult]:
+              cache: Optional[ResultCache] = None,
+              obs=None) -> Dict[RunKey, JobResult]:
     """Simulate a batch of cells, in parallel when ``jobs > 1``.
 
     Results come back as an insertion-ordered dict following the *input*
@@ -256,6 +256,11 @@ def run_cells(keys: Sequence[RunKey],
     order — so serial and parallel runs are exactly reproducible.
     Cached cells are served from ``cache`` without touching the pool;
     fresh cells are written back to it.
+
+    ``obs`` (a host-clock :class:`repro.obs.Tracer`) records per-cell
+    wall-time spans, cache hit/miss tallies and the pool's in-flight
+    occupancy.  This is *host-side* instrumentation — wall-clock
+    timestamps, never deterministic, never part of a job trace.
 
     Raises :class:`CellError` (with the cell's coordinates) on the first
     failing cell.
@@ -268,26 +273,46 @@ def run_cells(keys: Sequence[RunKey],
         hit = cache.get(key, conf) if cache is not None else None
         if hit is not None:
             results[key] = hit
+            if obs is not None:
+                obs.count("cache.hits")
         else:
             pending.append(key)
+            if obs is not None and cache is not None:
+                obs.count("cache.misses")
 
     if jobs <= 1 or len(pending) <= 1:
         for key in pending:
+            span = (obs.begin(key.describe(), ("executor", "serial"),
+                              cat="cell") if obs is not None else None)
             try:
                 results[key] = simulate_cell(key, conf)
             except Exception as exc:
                 raise CellError(key, exc) from exc
+            finally:
+                if span is not None:
+                    obs.end(span)
             if cache is not None:
                 cache.put(key, conf, results[key])
     else:
+        inflight = (obs.counter("executor.inflight", "cells")
+                    if obs is not None else None)
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
             futures = [(key, pool.submit(_simulate_worker, key, conf))
                        for key in pending]
+            if inflight is not None:
+                inflight.set(obs.clock(), float(len(futures)))
             for key, future in futures:
+                span = (obs.begin(key.describe(), ("executor", "pool"),
+                                  cat="cell") if obs is not None else None)
                 try:
                     results[key] = future.result()
                 except Exception as exc:
                     raise CellError(key, exc) from exc
+                finally:
+                    if span is not None:
+                        obs.end(span)
+                    if inflight is not None:
+                        inflight.add(obs.clock(), -1.0)
                 if cache is not None:
                     cache.put(key, conf, results[key])
 

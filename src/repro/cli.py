@@ -8,6 +8,7 @@ Examples::
     repro-hadoop run all --no-cache        # force a cold, serial-fidelity run
     repro-hadoop job --machine atom --workload wordcount --freq 1.6
     repro-hadoop faults --seed 7 --rates 0 5 10 --export out/faults
+    repro-hadoop trace terasort --machine atom --data-gb 10 --check
     repro-hadoop validate
     repro-hadoop cache stats
     repro-hadoop cache clear
@@ -100,6 +101,30 @@ def build_parser() -> argparse.ArgumentParser:
     job.add_argument("--nodes", type=int, default=3)
     job.add_argument("--cores", type=int, default=None,
                      help="active cores per node")
+
+    trace = sub.add_parser(
+        "trace", parents=[perf],
+        help="run one job with tracing on and export its timeline")
+    trace.add_argument("workload", help="workload name (e.g. wordcount)")
+    trace.add_argument("--machine", choices=["atom", "xeon"], default="atom")
+    trace.add_argument("--freq", type=float, default=1.8,
+                       help="core frequency in GHz (1.2-1.8)")
+    trace.add_argument("--block-mb", type=float, default=64.0)
+    trace.add_argument("--data-gb", type=float, default=1.0,
+                       help="input data per node in GB")
+    trace.add_argument("--nodes", type=int, default=3)
+    trace.add_argument("--cores", type=int, default=None,
+                       help="active cores per node")
+    trace.add_argument("--crash", action="append", default=[],
+                       metavar="NODE:SECONDS",
+                       help="inject a node crash (repeatable), e.g. "
+                            "--crash atom1:60")
+    trace.add_argument("--out", "-o", default="trace-out", metavar="DIR",
+                       help="output directory for trace.json, timeline.csv "
+                            "and summary.txt (default trace-out)")
+    trace.add_argument("--check", action="store_true",
+                       help="run the trace invariant checker; exit 1 on "
+                            "any violation")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
@@ -217,6 +242,52 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import Tracer, check_job, write_trace_files
+    from .sim.faults import FaultPlan, NodeFault
+
+    node_faults = []
+    for spec in args.crash:
+        node, sep, when = spec.partition(":")
+        if not sep or not node:
+            print(f"repro-hadoop: error: --crash wants NODE:SECONDS, "
+                  f"got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            node_faults.append(NodeFault(node, crash_at_s=float(when)))
+        except ValueError:
+            print(f"repro-hadoop: error: bad --crash time {when!r}",
+                  file=sys.stderr)
+            return 2
+    plan = FaultPlan(node_faults=tuple(node_faults)) if node_faults else None
+
+    # The traced run is always executed in-process: tracing re-simulates
+    # the one job it describes (cached scalar results stay untouched), so
+    # --jobs only affects sweep commands and the trace bytes cannot
+    # depend on it.
+    tracer = Tracer()
+    try:
+        simulate_job(
+            args.machine, args.workload, n_nodes=args.nodes,
+            freq_ghz=args.freq, block_size_mb=args.block_mb,
+            data_per_node_gb=args.data_gb, cores_per_node=args.cores,
+            fault_plan=plan, obs=tracer)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    for path in write_trace_files(tracer, args.out):
+        print(f"wrote {path}")
+    if args.check:
+        report = check_job(tracer.job)
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = _open_cache(args.cache_dir)
     if args.action == "stats":
@@ -253,6 +324,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "job":
         return _cmd_job(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError("unreachable")

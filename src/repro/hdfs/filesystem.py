@@ -130,6 +130,13 @@ class HDFS:
         plus both NICs.  Returns elapsed seconds.
         """
         start = self.sim.now
+        obs = self.sim.obs
+        if obs is not None:
+            # Chunk-level hot path: meta counters only, no per-read spans.
+            obs.count("hdfs.reads")
+            obs.count("hdfs.read_bytes", nbytes)
+            if source_name != reader.name:
+                obs.count("hdfs.remote_reads")
         if source_name == reader.name:
             legs = self._disk_leg(reader, nbytes, "hdfs.read", task_id, phase,
                                   is_read=True)
@@ -191,6 +198,13 @@ class HDFS:
         remote legs proceed concurrently; completion waits for all.
         """
         start = self.sim.now
+        obs = self.sim.obs
+        span = None
+        if obs is not None:
+            obs.count("hdfs.writes")
+            obs.count("hdfs.write_bytes", nbytes)
+            span = obs.begin(f"write {file_hint}", (writer.name, "hdfs"),
+                             cat="hdfs", bytes=nbytes, task=task_id)
         placed = self.namenode.place_block(
             Block(file_hint, 0, nbytes), writer=writer.name)
         n_replicas = (replication if replication is not None
@@ -221,4 +235,6 @@ class HDFS:
         for name in replica_names[1:]:
             procs.append(self.sim.process(_remote(name)))
         yield self.sim.all_of(procs)
+        if span is not None:
+            obs.end(span, replicas=len(replica_names))
         return self.sim.now - start

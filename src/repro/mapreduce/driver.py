@@ -35,7 +35,7 @@ from ..cluster.server import Cluster, ServerNode
 from ..hdfs.filesystem import HDFS
 from ..sim.engine import Interrupt, Process, SimulationError, Simulator, Timeout
 from ..sim.faults import FaultPlan
-from ..sim.trace import merge_intervals
+from ..sim.trace import complement
 from ..workloads.base import JobStage, WorkloadSpec, workload
 from .config import DEFAULT_CONF, JobConf
 from .tasks import MapTask, ReduceTask, RunCounters, TaskAttemptError
@@ -206,6 +206,7 @@ class _PhaseRunner:
         self.order.append(task_id)
         self.queues[queue].append(task_id)
         self.outstanding += 1
+        self._sample_backlog()
 
     # -- idle-slot coordination -----------------------------------------
     @property
@@ -225,6 +226,25 @@ class _PhaseRunner:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
 
+    # -- observability ---------------------------------------------------
+    def _sample_backlog(self) -> None:
+        """Re-sample the queued-task counter (tracing only).
+
+        Recomputed rather than stepped: crash handling drains whole
+        queues at once and recounting is cheap at trace time."""
+        obs = self.sim.obs
+        if obs is not None:
+            total = sum(len(q) for q in self.queues.values())
+            obs.counter(f"queue.backlog.{self.kind}", "tasks").set(
+                self.sim.now, total)
+
+    def _count_running(self, node: ServerNode, delta: int) -> None:
+        obs = self.sim.obs
+        if obs is not None:
+            now = self.sim.now
+            obs.counter("tasks.running", "tasks").add(now, delta)
+            obs.counter(f"tasks.running.{node.name}", "tasks").add(now, delta)
+
     # -- claiming --------------------------------------------------------
     def claim(self, node: ServerNode, process: Process
               ) -> Optional[Tuple[_Attempt, _TaskRec]]:
@@ -240,10 +260,13 @@ class _PhaseRunner:
                        speculative=speculative)
         rec.running[task.attempt] = att
         self.busy[node.name] = self.busy.get(node.name, 0) + 1
+        self._count_running(node, +1)
+        self._sample_backlog()
         return att, rec
 
     def release_slot(self, node: ServerNode) -> None:
         self.busy[node.name] = self.busy.get(node.name, 1) - 1
+        self._count_running(node, -1)
 
     def _backlog(self, name: str) -> int:
         """Queued tasks at *name* beyond what its own free slots will
@@ -330,6 +353,10 @@ class _PhaseRunner:
             self.counters.reduce_attempts += 1
         if speculative:
             self.counters.speculative_attempts += 1
+            if self.sim.obs is not None:
+                self.sim.obs.instant("speculate", ("driver", "scheduler"),
+                                     cat="scheduler", task=tid,
+                                     attempt=n, node=node.name)
         return task
 
     def _live_sources(self, sources: Dict[str, float]) -> Dict[str, float]:
@@ -376,6 +403,10 @@ class _PhaseRunner:
 
     def attempt_failed(self, rec: _TaskRec, exc: TaskAttemptError) -> None:
         rec.failures += 1
+        if self.sim.obs is not None:
+            self.sim.obs.instant("retry", ("driver", "scheduler"),
+                                 cat="fault", task=rec.task_id,
+                                 failures=rec.failures)
         if rec.failures >= self.conf.max_attempts:
             if not self.done_event.triggered:
                 err = RuntimeError(
@@ -408,6 +439,7 @@ class _PhaseRunner:
             return
         target = min(live, key=lambda name: len(self.queues[name]))
         self.queues[target].append(rec.task_id)
+        self._sample_backlog()
         self.notify()
 
     # -- crash recovery ---------------------------------------------------
@@ -439,12 +471,17 @@ class _PhaseRunner:
                 if rec.done and rec.completion and rec.completion[0] == name:
                     rec.done = False
                     self.counters.lost_map_outputs += 1
+                    if self.sim.obs is not None:
+                        self.sim.obs.instant(
+                            "lost-map-output", ("driver", "scheduler"),
+                            cat="fault", task=rec.task_id, node=name)
                     self.counters.wasted_task_seconds += rec.completion[2]
                     self.counters.task_seconds -= rec.completion[2]
                     rec.completion = None
                     self.log.remove(rec)
                     self.outstanding += 1
                     self._requeue(rec)
+        self._sample_backlog()
 
 
 class HadoopJobRunner:
@@ -526,7 +563,7 @@ class HadoopJobRunner:
 
     # -- slot workers ------------------------------------------------------
     def _slot_worker(self, phase: _PhaseRunner, node: ServerNode,
-                     holder: List[Process]):
+                     holder: List[Process], slot: int):
         """One task slot: claim → run attempt → report, until the phase
         ends.  Interrupts (speculation losses, node crashes) and injected
         attempt failures are absorbed here; the slot keeps serving."""
@@ -546,6 +583,14 @@ class HadoopJobRunner:
                         poll.cancel()
                 continue
             att, rec = claimed
+            obs = self.sim.obs
+            span = None
+            if obs is not None:
+                span = obs.begin(
+                    f"{phase.kind} {att.task.task_id}",
+                    (node.name, f"slot{slot}"), cat=phase.kind,
+                    task=att.task.task_id, attempt=att.number,
+                    speculative=att.speculative)
             try:
                 if self.conf.heartbeat_s > 0:
                     yield self.sim.timeout(self.conf.heartbeat_s)
@@ -556,6 +601,8 @@ class HadoopJobRunner:
                 self.counters.killed_attempts += 1
                 self.counters.wasted_task_seconds += (self.sim.now
                                                       - att.started_at)
+                if span is not None:
+                    obs.end(span, status="killed")
                 continue
             except TaskAttemptError as exc:
                 rec.running.pop(att.number, None)
@@ -563,10 +610,14 @@ class HadoopJobRunner:
                 self.counters.failed_attempts += 1
                 self.counters.wasted_task_seconds += (self.sim.now
                                                       - att.started_at)
+                if span is not None:
+                    obs.end(span, status="failed")
                 phase.attempt_failed(rec, exc)
                 continue
             rec.running.pop(att.number, None)
             phase.release_slot(node)
+            if span is not None:
+                obs.end(span, status="ok")
             phase.complete(rec, att)
 
     def _spawn_workers(self, phase: _PhaseRunner, nodes: Sequence[ServerNode],
@@ -576,10 +627,10 @@ class HadoopJobRunner:
             slots = min(slots_override or conf_slots or node.n_cores,
                         node.n_cores)
             phase.slots[node.name] = slots
-            for _ in range(slots):
+            for slot in range(slots):
                 holder: List[Process] = []
                 holder.append(self.sim.process(
-                    self._slot_worker(phase, node, holder)))
+                    self._slot_worker(phase, node, holder, slot)))
 
     # -- crash watchers ----------------------------------------------------
     def _crash_watcher(self, node: ServerNode, at: float):
@@ -593,6 +644,9 @@ class HadoopJobRunner:
         node.fail()
         self.counters.node_crashes += 1
         self.cluster.trace.mark(self.sim.now, f"crash:{node.name}")
+        if self.sim.obs is not None:
+            self.sim.obs.instant(f"crash {node.name}", ("driver", "faults"),
+                                 cat="fault", node=node.name)
         if self._active_phase is not None:
             self._active_phase.handle_crash(node)
 
@@ -608,13 +662,18 @@ class HadoopJobRunner:
         """Process generator executing one MR job; returns output bytes."""
         timing = StageTiming(stage=stage.name, input_bytes=input_bytes)
         self.stage_timings.append(timing)
+        obs = self.sim.obs
 
         # Job setup ("others" in the breakdown figures).
         t0 = self.sim.now
+        setup_span = (obs.begin(f"{stage.name}.setup", ("driver", "stages"),
+                                cat="stage") if obs is not None else None)
         yield from self._framework(self._master(),
                                    self.conf.job_setup_instructions,
                                    f"{stage.name}.setup")
         timing.setup_s = self.sim.now - t0
+        if setup_span is not None:
+            obs.end(setup_span)
 
         # Input placement: instantaneous, mirrors pre-staged datasets.
         file = f"{self.spec.name}.s{stage_index}.in"
@@ -645,12 +704,18 @@ class HadoopJobRunner:
             mphase.add_task(f"s{stage_index}.m{block.index}", block, primary)
         self._spawn_workers(mphase, map_nodes, self._map_slots,
                             self.conf.map_slots_per_node)
+        map_span = (obs.begin(f"{stage.name}.map", ("driver", "stages"),
+                              cat="stage", tasks=len(mphase.order),
+                              slots=sum(mphase.slots.values()))
+                    if obs is not None else None)
         self._active_phase = mphase
         try:
             yield mphase.done_event
         finally:
             self._active_phase = None
         timing.map_s = self.sim.now - t_map
+        if map_span is not None:
+            obs.end(map_span)
 
         # Replay the completion log in winning order so the float
         # accumulation matches the old inline bookkeeping bit for bit.
@@ -687,12 +752,19 @@ class HadoopJobRunner:
                 rphase.add_task(f"s{stage_index}.r{r}", share, node.name)
             self._spawn_workers(rphase, reduce_nodes, self._reduce_slots,
                                 self.conf.reduce_slots_per_node)
+            red_span = (obs.begin(f"{stage.name}.reduce",
+                                  ("driver", "stages"), cat="stage",
+                                  tasks=len(rphase.order),
+                                  slots=sum(rphase.slots.values()))
+                        if obs is not None else None)
             self._active_phase = rphase
             try:
                 yield rphase.done_event
             finally:
                 self._active_phase = None
             timing.reduce_s = self.sim.now - t_red
+            if red_span is not None:
+                obs.end(red_span)
             stage_output = 0.0
             for rec in rphase.log:
                 stage_output += rec.completion[1]
@@ -719,10 +791,15 @@ class HadoopJobRunner:
 
         # Job cleanup.
         t1 = self.sim.now
+        cleanup_span = (obs.begin(f"{stage.name}.cleanup",
+                                  ("driver", "stages"), cat="stage")
+                        if obs is not None else None)
         yield from self._framework(self._master(),
                                    self.conf.job_cleanup_instructions,
                                    f"{stage.name}.cleanup")
         timing.cleanup_s = self.sim.now - t1
+        if cleanup_span is not None:
+            obs.end(cleanup_span)
         timing.output_bytes = stage_output
         return stage_output
 
@@ -742,14 +819,9 @@ class HadoopJobRunner:
             if t.reduce_s > 0:
                 windows.append((t.reduce_start,
                                 t.reduce_start + t.reduce_s, "reduce"))
-        busy = merge_intervals([(s, e) for s, e, _ in windows])
-        cursor = 0.0
-        for s, e in busy:
-            if s > cursor:
-                windows.append((cursor, s, "other"))
-            cursor = max(cursor, e)
-        if makespan > cursor:
-            windows.append((cursor, makespan, "other"))
+        for start, end in complement([(s, e) for s, e, _ in windows],
+                                     0.0, makespan):
+            windows.append((start, end, "other"))
         for node in self.cluster.nodes:
             limit = (node.failed_at if node.failed_at is not None
                      else makespan)
@@ -788,6 +860,25 @@ class HadoopJobRunner:
         energy = integrate_energy(self.cluster.trace,
                                   self.cluster.node_power(),
                                   makespan=execution_time)
+        obs = self.sim.obs
+        if obs is not None:
+            from ..obs.spans import JobTrace, NodeInfo
+            engine_stats = {"events_dispatched": float(self.sim.event_count)}
+            engine_stats.update({k: v for k, v in obs.meta.items()
+                                 if k.startswith("engine.")})
+            obs.job = JobTrace(
+                workload=self.spec.name,
+                machine=self.cluster.nodes[0].spec.name,
+                makespan=execution_time,
+                intervals=self.cluster.trace.intervals,
+                marks=list(self.cluster.trace.marks),
+                nodes=[NodeInfo(n.name, n.spec.name, n.n_cores, n.failed_at)
+                       for n in self.cluster.nodes],
+                node_power=self.cluster.node_power(),
+                stages=list(self.stage_timings),
+                counters=self.counters,
+                energy=energy,
+                engine=engine_stats)
         phase_seconds = {
             "map": sum(t.map_s for t in self.stage_timings),
             "reduce": sum(t.reduce_s for t in self.stage_timings),
@@ -821,7 +912,8 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
                  conf: JobConf = DEFAULT_CONF,
                  map_slots_per_node: Optional[int] = None,
                  reduce_slots_per_node: Optional[int] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> JobResult:
+                 fault_plan: Optional[FaultPlan] = None,
+                 obs: Optional[object] = None) -> JobResult:
     """Run one Hadoop application on a fresh homogeneous cluster.
 
     This is the reproduction's workhorse: every figure and table runs
@@ -840,6 +932,11 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
         map_slots_per_node / reduce_slots_per_node: slot overrides;
             default to the active core count (mappers = cores, §3.5).
         fault_plan: injected failures; overrides ``conf.fault_plan``.
+        obs: optional :class:`repro.obs.Tracer`; when given it is
+            attached to the fresh simulator (its clock becomes simulated
+            time) and, on completion, carries the run's
+            :class:`~repro.obs.JobTrace`.  ``None`` (the default)
+            records nothing and changes nothing.
     """
     mspec = machine(machine_spec) if isinstance(machine_spec, str) else machine_spec
     wspec = workload(workload_spec) if isinstance(workload_spec, str) else workload_spec
@@ -848,6 +945,8 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
     if fault_plan is not None:
         conf = conf.override(fault_plan=fault_plan)
     sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
     cluster = Cluster.homogeneous(sim, mspec, n_nodes, freq_ghz,
                                   cores_per_node=cores_per_node)
     runner = HadoopJobRunner(cluster, wspec, conf,

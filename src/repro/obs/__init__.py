@@ -1,0 +1,23 @@
+"""Observability subsystem: tracing, metrics, exporters, invariants.
+
+``repro.obs`` is strictly additive: nothing in the simulator imports it
+at module scope except through ``sim.obs`` attribute guards, a run
+without a tracer records nothing, and scalar outputs are byte-identical
+with tracing on or off.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .export import (perfetto_json, perfetto_trace, text_summary,
+                     timeline_csv, write_trace_files)
+from .invariants import (InvariantReport, TraceInvariantError, Violation,
+                         check_intervals, check_job, verify_job)
+from .metrics import Counter, CounterRegistry
+from .spans import EventRecord, JobTrace, NodeInfo, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer", "JobTrace", "NodeInfo", "SpanRecord", "EventRecord",
+    "Counter", "CounterRegistry",
+    "check_intervals", "check_job", "verify_job",
+    "InvariantReport", "Violation", "TraceInvariantError",
+    "perfetto_trace", "perfetto_json", "timeline_csv", "text_summary",
+    "write_trace_files",
+]

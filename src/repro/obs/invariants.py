@@ -1,0 +1,313 @@
+"""Trace invariant checker: mechanical detection of accounting bugs.
+
+Both timeline bugs fixed in the fault-injection PR — work stealing that
+silently serialized a phase, and uncore "other" windows double-charging
+overlap — were invisible in scalar outputs and obvious in the interval
+set.  This module makes that class of bug mechanically detectable: it
+validates the full activity-interval set of a run against the rules the
+accounting is supposed to guarantee, and reports precise, per-node
+diagnostics when one fails.
+
+Rules (see ``docs/OBSERVABILITY.md`` for the rationale behind each):
+
+* ``bounds`` — every interval lies inside ``[0, makespan]``.
+* ``shape`` — no backwards interval, activity within ``[0, 1]``,
+  phase label one of ``map``/``reduce``/``other``.
+* ``core-capacity`` — at no instant does a node run more concurrent
+  ``core`` intervals than it has cores.
+* ``task-serial`` — the ``core`` intervals of one task attempt never
+  overlap (an attempt is a sequential program).
+* ``core-crash-clip`` — a crashed node runs no ``core`` compute after
+  its failure time, and no *new* framework work starts there.  Device
+  legs — disk, NIC, and the CPU-coupled I/O-path transit (``fw`` kind
+  ``iopath``) — are exempt: the fault model interrupts task processes,
+  not device transfers, and HDFS write placement is liveness-blind, so
+  replication-pipeline legs can land on (and drain past) a dead node.
+  Both are documented shortcuts (MODELING.md §8).  Framework intervals
+  (``fw``, non-iopath) already in flight at the crash may finish —
+  job-level setup/cleanup runs in the driver process, which a node
+  crash does not interrupt — but must not *start* afterwards.
+* ``uncore-partition`` — per node, the uncore ``map``/``reduce``/
+  ``other`` windows partition ``[0, makespan]`` exactly once (clipped at
+  ``failed_at`` for crashed nodes): no gap, no overlap, every simulated
+  second charged exactly once.  This is the PR-2 uncore-accounting bug,
+  stated as a checkable property.
+
+The checker is duck-typed over interval records (anything with
+``start``/``end``/``node``/``device``/``phase``/``task_id``/
+``activity``), so tests can feed it deliberately corrupted sets that the
+:class:`~repro.sim.trace.Interval` constructor would refuse to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .spans import JobTrace, NodeInfo
+
+__all__ = ["Violation", "InvariantReport", "TraceInvariantError",
+           "check_intervals", "check_job", "verify_job"]
+
+_PHASES = ("map", "reduce", "other")
+
+#: Devices whose transfers are not tied to node liveness (the fault
+#: model interrupts *processes* on the dead node, not transfers queued
+#: on its devices, and write placement never consults liveness —
+#: MODELING.md §8).
+_DRAIN_DEVICES = frozenset({"disk", "nic"})
+
+#: ``fw`` kinds that are really device transit (the CPU-coupled I/O
+#: path pipelined against disk/NIC legs) and share their exemption.
+_DRAIN_FW_KINDS = frozenset({"iopath"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to find the bug."""
+
+    rule: str
+    message: str
+    node: Optional[str] = None
+    time: Optional[float] = None
+
+    def render(self) -> str:
+        where = f" node={self.node}" if self.node else ""
+        when = f" t={self.time:.6g}" if self.time is not None else ""
+        return f"[{self.rule}]{where}{when}: {self.message}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one checker run over an interval set."""
+
+    makespan: float
+    intervals_checked: int
+    rules: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self, rule: str) -> List[Violation]:
+        return [v for v in self.violations if v.rule == rule]
+
+    def render(self) -> str:
+        head = (f"trace invariants: {len(self.rules)} rules over "
+                f"{self.intervals_checked} intervals, "
+                f"makespan {self.makespan:.3f} s")
+        if self.ok:
+            return head + " -- OK"
+        lines = [head + f" -- {len(self.violations)} violation(s)"]
+        lines += ["  " + v.render() for v in self.violations]
+        return "\n".join(lines)
+
+
+class TraceInvariantError(RuntimeError):
+    """Raised by :func:`verify_job` when a trace breaks an invariant."""
+
+    def __init__(self, report: InvariantReport):
+        super().__init__(report.render())
+        self.report = report
+
+
+def _eps(makespan: float) -> float:
+    return 1e-9 * max(1.0, abs(makespan))
+
+
+def _check_shape(intervals: Sequence, eps: float,
+                 out: List[Violation]) -> None:
+    for iv in intervals:
+        if iv.end < iv.start - eps:
+            out.append(Violation(
+                "shape", f"backwards interval [{iv.start!r}, {iv.end!r}) "
+                f"({iv.device}/{iv.kind})", node=iv.node, time=iv.start))
+        activity = getattr(iv, "activity", 1.0)
+        if not 0.0 <= activity <= 1.0:
+            out.append(Violation(
+                "shape", f"activity {activity!r} outside [0, 1] "
+                f"({iv.device}/{iv.kind})", node=iv.node, time=iv.start))
+        if iv.phase not in _PHASES:
+            out.append(Violation(
+                "shape", f"unknown phase label {iv.phase!r} "
+                f"({iv.device}/{iv.kind})", node=iv.node, time=iv.start))
+
+
+def _check_bounds(intervals: Sequence, makespan: float, eps: float,
+                  out: List[Violation]) -> None:
+    for iv in intervals:
+        if iv.start < -eps or iv.end > makespan + eps:
+            out.append(Violation(
+                "bounds",
+                f"interval [{iv.start!r}, {iv.end!r}) outside "
+                f"[0, {makespan!r}] ({iv.device}/{iv.kind})",
+                node=iv.node, time=iv.start))
+
+
+def _check_core_capacity(by_node: Dict[str, List], nodes: Dict[str, NodeInfo],
+                         eps: float, out: List[Violation]) -> None:
+    for name, ivs in sorted(by_node.items()):
+        info = nodes.get(name)
+        if info is None:
+            out.append(Violation(
+                "core-capacity", "interval on unknown node", node=name))
+            continue
+        edges = []
+        for iv in ivs:
+            if iv.device == "core" and iv.end > iv.start:
+                edges.append((iv.start, 1))
+                edges.append((iv.end, -1))
+        # Ends sort before starts at the same instant, so half-open
+        # touching intervals never count as concurrent.
+        edges.sort(key=lambda e: (e[0], e[1]))
+        level = 0
+        for t, step in edges:
+            level += step
+            if level > info.n_cores:
+                out.append(Violation(
+                    "core-capacity",
+                    f"{level} concurrent core intervals on a "
+                    f"{info.n_cores}-core node", node=name, time=t))
+                break
+
+
+def _check_task_serial(intervals: Sequence, eps: float,
+                       out: List[Violation]) -> None:
+    by_task: Dict[str, List] = {}
+    for iv in intervals:
+        if iv.device == "core" and iv.task_id is not None:
+            by_task.setdefault(iv.task_id, []).append(iv)
+    for task_id in sorted(by_task):
+        ivs = sorted(by_task[task_id], key=lambda iv: (iv.start, iv.end))
+        for prev, cur in zip(ivs, ivs[1:]):
+            if cur.start < prev.end - eps:
+                out.append(Violation(
+                    "task-serial",
+                    f"task {task_id} core intervals overlap: "
+                    f"[{prev.start!r}, {prev.end!r}) and "
+                    f"[{cur.start!r}, {cur.end!r})",
+                    node=cur.node, time=cur.start))
+                break
+
+
+def _check_crash_clip(by_node: Dict[str, List], nodes: Dict[str, NodeInfo],
+                      eps: float, out: List[Violation]) -> None:
+    for name, ivs in sorted(by_node.items()):
+        info = nodes.get(name)
+        if info is None or info.failed_at is None:
+            continue
+        limit = info.failed_at
+        for iv in ivs:
+            if iv.device in _DRAIN_DEVICES or iv.device == "uncore":
+                continue  # drains are exempt; uncore has its own rule
+            if iv.device == "fw":
+                if iv.kind in _DRAIN_FW_KINDS:
+                    continue  # I/O-path transit: a device leg in disguise
+                # In-flight framework work may finish; new work may not.
+                if iv.start > limit + eps:
+                    out.append(Violation(
+                        "core-crash-clip",
+                        f"fw/{iv.kind} interval [{iv.start!r}, {iv.end!r}) "
+                        f"starts after the node's crash at {limit!r}",
+                        node=name, time=iv.start))
+                continue
+            if iv.end > limit + eps:
+                out.append(Violation(
+                    "core-crash-clip",
+                    f"{iv.device}/{iv.kind} interval "
+                    f"[{iv.start!r}, {iv.end!r}) outlives the node's crash "
+                    f"at {limit!r}", node=name, time=iv.start))
+
+
+def _check_uncore_partition(by_node: Dict[str, List],
+                            nodes: Dict[str, NodeInfo], makespan: float,
+                            eps: float, out: List[Violation]) -> None:
+    if makespan <= 0:
+        return
+    for name in sorted(nodes):
+        info = nodes[name]
+        limit = info.failed_at if info.failed_at is not None else makespan
+        windows = sorted(
+            ((iv.start, iv.end, iv.phase)
+             for iv in by_node.get(name, ()) if iv.device == "uncore"
+             and iv.end > iv.start),
+            key=lambda w: (w[0], w[1]))
+        if not windows:
+            if limit > eps:
+                out.append(Violation(
+                    "uncore-partition",
+                    f"no uncore windows at all; [0, {limit!r}] is "
+                    "uncharged", node=name, time=0.0))
+            continue
+        cursor = 0.0
+        for start, end, phase in windows:
+            if start > cursor + eps:
+                out.append(Violation(
+                    "uncore-partition",
+                    f"gap [{cursor!r}, {start!r}) before {phase} window — "
+                    "simulated time nobody charged", node=name, time=cursor))
+            elif start < cursor - eps:
+                out.append(Violation(
+                    "uncore-partition",
+                    f"{phase} window starts at {start!r}, before the "
+                    f"previous window ends at {cursor!r} — double-charged "
+                    "overlap", node=name, time=start))
+            cursor = max(cursor, end)
+        if abs(cursor - limit) > eps:
+            what = ("node crash time" if info.failed_at is not None
+                    else "makespan")
+            out.append(Violation(
+                "uncore-partition",
+                f"windows end at {cursor!r} but the {what} is {limit!r}",
+                node=name, time=cursor))
+
+
+def check_intervals(intervals: Iterable, makespan: float,
+                    nodes: Sequence[NodeInfo]) -> InvariantReport:
+    """Validate an interval set against every trace invariant.
+
+    Args:
+        intervals: interval records (:class:`~repro.sim.trace.Interval`
+            or anything with the same attributes).
+        makespan: wall-clock duration of the run being checked.
+        nodes: static node facts (core counts, crash times).
+
+    Returns:
+        An :class:`InvariantReport`; ``report.ok`` is False when any
+        rule is broken, and each violation carries the node, time and a
+        message precise enough to locate the faulty accounting.
+    """
+    ivs = list(intervals)
+    eps = _eps(makespan)
+    node_map = {n.name: n for n in nodes}
+    by_node: Dict[str, List] = {}
+    for iv in ivs:
+        by_node.setdefault(iv.node, []).append(iv)
+
+    violations: List[Violation] = []
+    _check_shape(ivs, eps, violations)
+    _check_bounds(ivs, makespan, eps, violations)
+    _check_core_capacity(by_node, node_map, eps, violations)
+    _check_task_serial(ivs, eps, violations)
+    _check_crash_clip(by_node, node_map, eps, violations)
+    _check_uncore_partition(by_node, node_map, makespan, eps, violations)
+
+    return InvariantReport(
+        makespan=makespan, intervals_checked=len(ivs),
+        rules=["shape", "bounds", "core-capacity", "task-serial",
+               "core-crash-clip", "uncore-partition"],
+        violations=violations)
+
+
+def check_job(trace: JobTrace) -> InvariantReport:
+    """Validate a captured :class:`~repro.obs.spans.JobTrace`."""
+    return check_intervals(trace.intervals, trace.makespan, trace.nodes)
+
+
+def verify_job(trace: JobTrace) -> InvariantReport:
+    """Like :func:`check_job` but raises :class:`TraceInvariantError`."""
+    report = check_job(trace)
+    if not report.ok:
+        raise TraceInvariantError(report)
+    return report

@@ -1,0 +1,99 @@
+"""Time-series counters for the observability subsystem.
+
+A :class:`Counter` is a step function over (simulated or wall) time: the
+instrumented code pushes ``(time, value)`` samples and the exporters
+render them as Perfetto counter tracks, timeline CSV columns, or ASCII
+charts.  Samples are deduplicated (a sample that does not change the
+value is dropped, and two samples at the same timestamp collapse to the
+latest), so counters stay compact even when updated from hot scheduler
+paths.
+
+Counters never touch the wall clock themselves — the caller supplies
+every timestamp — which is what keeps traces byte-identical across
+``--jobs`` widths: simulated time is the only clock that ever reaches a
+job trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["Counter", "CounterRegistry"]
+
+
+class Counter:
+    """A named step-function counter: ``samples`` is [(time, value), ...]."""
+
+    __slots__ = ("name", "unit", "value", "samples")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value: float = 0.0
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, time: float, value: float) -> None:
+        """Record that the counter holds *value* from *time* on."""
+        self.value = value
+        s = self.samples
+        if s:
+            last_t, last_v = s[-1]
+            if last_t == time:          # same instant: keep the latest value
+                s[-1] = (time, value)
+                return
+            if last_v == value:         # no step: sample adds no information
+                return
+        s.append((time, value))
+
+    def add(self, time: float, delta: float) -> None:
+        """Step the counter by *delta* at *time*."""
+        self.set(time, self.value + delta)
+
+    def value_at(self, time: float) -> float:
+        """Counter value in effect at *time* (0 before the first sample)."""
+        out = 0.0
+        for t, v in self.samples:
+            if t > time:
+                break
+            out = v
+        return out
+
+    def max_in(self, start: float, end: float) -> float:
+        """Maximum value the step function takes inside ``[start, end]``."""
+        out = self.value_at(start)
+        for t, v in self.samples:
+            if start <= t <= end:
+                out = max(out, v)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Counter {self.name}={self.value} "
+                f"({len(self.samples)} samples)>")
+
+
+class CounterRegistry:
+    """Name → :class:`Counter`, created on first use (insertion-ordered)."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name, unit)
+        return c
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __iter__(self):
+        return iter(self._counters.values())
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def get(self, name: str) -> Counter:
+        return self._counters[name]
+
+    def items(self):
+        return self._counters.items()

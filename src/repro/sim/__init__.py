@@ -4,11 +4,12 @@ from .engine import (AllOf, AnyOf, Event, Interrupt, Process, SimulationError,
                      Simulator, Timeout)
 from .faults import FaultPlan, NodeFault, unit_draw
 from .resources import BandwidthDevice, Request, Resource, UsageStats
-from .trace import Interval, TraceRecorder, merge_intervals, total_overlap
+from .trace import (Interval, TraceRecorder, complement, merge_intervals,
+                    total_overlap)
 
 __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "SimulationError",
     "Simulator", "Timeout", "FaultPlan", "NodeFault", "unit_draw",
     "BandwidthDevice", "Request", "Resource", "UsageStats", "Interval",
-    "TraceRecorder", "merge_intervals", "total_overlap",
+    "TraceRecorder", "merge_intervals", "total_overlap", "complement",
 ]

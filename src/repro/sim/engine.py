@@ -110,6 +110,8 @@ class Event:
         """
         if not self._processed:
             self._cancelled = True
+            if self.sim.obs is not None:
+                self.sim.obs.count("engine.cancels")
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
@@ -207,6 +209,8 @@ class Process(Event):
         if self._waiting_on is not None and event is not self._waiting_on:
             return  # stale wakeup from an event we stopped waiting on
         self._waiting_on = None
+        if self.sim.obs is not None:
+            self.sim.obs.count("engine.process_wakes")
         try:
             if event._exc is not None:
                 target = self.generator.throw(event._exc)
@@ -238,6 +242,10 @@ class Process(Event):
         """
         if not self.is_alive:
             return
+        if self.sim.obs is not None:
+            self.sim.obs.count("engine.interrupts")
+            self.sim.obs.instant("interrupt", ("engine", "process"),
+                                 cat="engine", cause=str(cause))
         intr = Event(self.sim)
         self._waiting_on = intr
         intr.add_callback(self._resume)
@@ -314,6 +322,10 @@ class Simulator:
         self._queue: List = []
         self._seq = 0
         self.event_count = 0
+        #: Optional :class:`repro.obs.Tracer`; every instrumentation site
+        #: in the simulator guards on ``obs is not None``, so an untraced
+        #: run pays one attribute load per site and records nothing.
+        self.obs = None
 
     # -- clock -----------------------------------------------------------
     @property

@@ -15,7 +15,8 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-__all__ = ["Interval", "TraceRecorder", "merge_intervals", "total_overlap"]
+__all__ = ["Interval", "TraceRecorder", "merge_intervals", "total_overlap",
+           "complement"]
 
 
 @dataclass(frozen=True)
@@ -137,11 +138,25 @@ def merge_intervals(spans: Iterable[Tuple[float, float]]
                     ) -> List[Tuple[float, float]]:
     """Coalesce possibly-overlapping ``(start, end)`` spans.
 
-    Returns disjoint spans sorted by start.  Empty spans are dropped.
+    Returns disjoint spans sorted by start.  Zero-length spans carry no
+    time and are dropped; touching spans (``a.end == b.start``) coalesce
+    into one, matching the half-open ``[start, end)`` convention used
+    everywhere else.  A backwards span (``end < start``) is always a
+    caller bug — it used to be silently discarded, which is exactly how
+    an accounting error hides — so it now raises.
+
+    Raises:
+        ValueError: if any span ends before it starts.
     """
-    spans = sorted((s, e) for s, e in spans if e > s)
+    cleaned = []
+    for s, e in spans:
+        if e < s:
+            raise ValueError(f"backwards span: ({s!r}, {e!r})")
+        if e > s:
+            cleaned.append((s, e))
+    cleaned.sort()
     merged: List[Tuple[float, float]] = []
-    for start, end in spans:
+    for start, end in cleaned:
         if merged and start <= merged[-1][1]:
             prev_start, prev_end = merged[-1]
             merged[-1] = (prev_start, max(prev_end, end))
@@ -153,3 +168,29 @@ def merge_intervals(spans: Iterable[Tuple[float, float]]
 def total_overlap(spans: Iterable[Tuple[float, float]]) -> float:
     """Total wall-clock time covered by at least one span."""
     return sum(e - s for s, e in merge_intervals(spans))
+
+
+def complement(spans: Iterable[Tuple[float, float]], lo: float, hi: float
+               ) -> List[Tuple[float, float]]:
+    """Gaps of ``[lo, hi]`` not covered by any span.
+
+    The returned gaps plus ``merge_intervals(spans)`` clipped to
+    ``[lo, hi]`` partition the window exactly — the property the uncore
+    accountant and the trace invariant checker both rely on.
+
+    Raises:
+        ValueError: if any span ends before it starts, or ``hi < lo``.
+    """
+    if hi < lo:
+        raise ValueError(f"empty window: [{lo!r}, {hi!r}]")
+    gaps: List[Tuple[float, float]] = []
+    cursor = lo
+    for start, end in merge_intervals(spans):
+        if start > cursor:
+            gaps.append((cursor, min(start, hi)))
+        cursor = max(cursor, end)
+        if cursor >= hi:
+            break
+    if cursor < hi:
+        gaps.append((cursor, hi))
+    return gaps

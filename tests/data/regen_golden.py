@@ -1,0 +1,20 @@
+"""Regenerate the golden Perfetto trace used by test_obs_export.py.
+
+Run after an *intentional* change to the model or the exporter:
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+and commit the refreshed JSON together with the change that moved it.
+"""
+
+from pathlib import Path
+
+from repro.mapreduce.driver import simulate_job
+from repro.obs import Tracer, perfetto_json, verify_job
+
+out = Path(__file__).parent / "wordcount_small_trace.json"
+tracer = Tracer()
+simulate_job("atom", "wordcount", data_per_node_gb=0.0625, obs=tracer)
+verify_job(tracer.job)
+out.write_text(perfetto_json(tracer), encoding="utf-8", newline="\n")
+print(f"wrote {out} ({out.stat().st_size} bytes)")

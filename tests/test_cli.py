@@ -41,6 +41,20 @@ class TestParser:
         args = build_parser().parse_args(["cache", "clear", "--stale-only"])
         assert args.action == "clear" and args.stale_only is True
 
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "terasort", "--machine", "xeon", "--data-gb", "10",
+             "--crash", "xeon1:60", "--crash", "xeon2:90", "--check"])
+        assert args.workload == "terasort"
+        assert args.crash == ["xeon1:60", "xeon2:90"]
+        assert args.check is True
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "wordcount"])
+        assert args.machine == "atom"
+        assert args.out == "trace-out"
+        assert args.check is False and args.crash == []
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -87,6 +101,39 @@ class TestCommands:
         assert main(["run", "F1", "--no-cache",
                      "--cache-dir", str(cache_dir)]) == 0
         assert not cache_dir.exists()
+
+
+class TestTraceCommand:
+    def test_trace_writes_files_and_checks(self, tmp_path, capsys):
+        outdir = tmp_path / "trace"
+        code = main(["trace", "wordcount", "--machine", "atom",
+                     "--data-gb", "0.0625", "--out", str(outdir), "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "trace.json" in out
+        assert "OK" in out
+        assert (outdir / "trace.json").stat().st_size > 0
+        assert (outdir / "timeline.csv").stat().st_size > 0
+        assert (outdir / "summary.txt").stat().st_size > 0
+
+    def test_trace_with_crash_passes_check(self, tmp_path, capsys):
+        code = main(["trace", "wordcount", "--machine", "atom",
+                     "--data-gb", "0.0625", "--crash", "atom1:30",
+                     "--out", str(tmp_path / "t"), "--check"])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_malformed_crash_spec(self, capsys):
+        assert main(["trace", "wordcount", "--crash", "atom1"]) == 2
+        assert main(["trace", "wordcount", "--crash", "atom1:soon"]) == 2
+
+    def test_trace_unknown_workload(self, tmp_path, capsys):
+        assert main(["trace", "nosuch", "--out", str(tmp_path / "t")]) == 2
+
+    def test_trace_unknown_node_in_crash(self, tmp_path, capsys):
+        code = main(["trace", "wordcount", "--crash", "nosuch9:5",
+                     "--out", str(tmp_path / "t")])
+        assert code == 2
 
 
 class TestCacheCommand:

@@ -7,13 +7,24 @@ import pytest
 from repro.mapreduce.config import DEFAULT_CONF
 from repro.mapreduce.driver import simulate_job
 from repro.mapreduce.tasks import TaskAttemptError
+from repro.obs import Tracer, check_job
 from repro.sim.faults import FaultPlan, NodeFault
 
 ATOM_NODES = ("atom0", "atom1", "atom2")
 
 
 def _baseline(machine="atom", workload="wordcount", **kw):
-    return simulate_job(machine, workload, **kw)
+    """Run a job with tracing on and its timeline invariant-checked.
+
+    Every fault/recovery scenario in this file therefore validates the
+    full interval set (capacity, crash clipping, uncore partition), not
+    just the scalar outputs.
+    """
+    tracer = Tracer()
+    result = simulate_job(machine, workload, obs=tracer, **kw)
+    report = check_job(tracer.job)
+    assert report.ok, report.render()
+    return result
 
 
 class TestQuietPlan:
@@ -133,7 +144,10 @@ class TestSpeculation:
         without = _baseline(fault_plan=self.SLOW)
         conf = DEFAULT_CONF.override(speculative_execution=True,
                                      fault_plan=self.SLOW)
-        with_spec = simulate_job("atom", "wordcount", conf=conf)
+        tracer = Tracer()
+        with_spec = simulate_job("atom", "wordcount", conf=conf, obs=tracer)
+        report = check_job(tracer.job)
+        assert report.ok, report.render()
         assert with_spec.execution_time_s < without.execution_time_s
         c = with_spec.counters
         assert c.speculative_attempts >= 1

@@ -1,0 +1,166 @@
+"""Tests for the trace invariant checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.mapreduce.driver import simulate_job
+from repro.obs import (NodeInfo, Tracer, TraceInvariantError, check_intervals,
+                       check_job, verify_job)
+from repro.sim.faults import FaultPlan, NodeFault
+
+
+@dataclass
+class Rec:
+    """Duck-typed interval record the Interval constructor would refuse."""
+
+    start: float
+    end: float
+    node: str = "n0"
+    device: str = "core"
+    kind: str = "work"
+    activity: float = 1.0
+    task_id: Optional[str] = None
+    phase: str = "map"
+
+
+def _nodes(n_cores=2, failed_at=None):
+    return [NodeInfo("n0", "atom", n_cores, failed_at)]
+
+
+def _uncore(start, end, phase="other", node="n0"):
+    return Rec(start, end, node=node, device="uncore", kind="job.active",
+               phase=phase)
+
+
+class TestCleanSets:
+    def test_trivial_set_passes(self):
+        ivs = [Rec(0.0, 4.0), Rec(4.0, 10.0, phase="reduce"),
+               _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        assert report.ok, report.render()
+        assert report.intervals_checked == 3
+        assert "OK" in report.render()
+
+    def test_touching_core_intervals_not_concurrent(self):
+        # Half-open [0,5) and [5,10) on a 1-core node: legal.
+        ivs = [Rec(0.0, 5.0), Rec(5.0, 10.0), _uncore(0.0, 10.0)]
+        assert check_intervals(ivs, 10.0, _nodes(n_cores=1)).ok
+
+
+class TestCorruptedSets:
+    def test_beyond_makespan_rejected(self):
+        ivs = [Rec(0.0, 12.0), _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        assert not report.ok
+        [v] = report.by_rule("bounds")
+        assert v.node == "n0" and "12.0" in v.message
+
+    def test_backwards_interval_rejected(self):
+        ivs = [Rec(5.0, 1.0), _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        assert report.by_rule("shape")
+
+    def test_bad_activity_and_phase_rejected(self):
+        ivs = [Rec(0.0, 1.0, activity=1.5), Rec(1.0, 2.0, phase="shuffle"),
+               _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        assert len(report.by_rule("shape")) == 2
+
+    def test_core_oversubscription_rejected(self):
+        # Three concurrent core intervals on a 2-core node.
+        ivs = [Rec(0.0, 5.0), Rec(1.0, 6.0), Rec(2.0, 7.0),
+               _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes(n_cores=2))
+        [v] = report.by_rule("core-capacity")
+        assert "3 concurrent" in v.message and v.time == 2.0
+
+    def test_task_serial_violation_rejected(self):
+        ivs = [Rec(0.0, 5.0, task_id="s0.m1"), Rec(3.0, 8.0, task_id="s0.m1"),
+               _uncore(0.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        [v] = report.by_rule("task-serial")
+        assert "s0.m1" in v.message
+
+    def test_core_after_crash_rejected(self):
+        ivs = [Rec(0.0, 7.0), _uncore(0.0, 4.0)]
+        report = check_intervals(ivs, 10.0, _nodes(failed_at=4.0))
+        [v] = report.by_rule("core-crash-clip")
+        assert "outlives" in v.message
+
+    def test_drain_devices_exempt_from_crash_clip(self):
+        ivs = [Rec(3.0, 7.0, device="disk"), Rec(3.0, 7.0, device="nic"),
+               Rec(5.0, 7.0, device="fw", kind="iopath", phase="reduce"),
+               _uncore(0.0, 4.0)]
+        report = check_intervals(ivs, 10.0, _nodes(failed_at=4.0))
+        assert not report.by_rule("core-crash-clip"), report.render()
+
+    def test_new_framework_work_after_crash_rejected(self):
+        ivs = [Rec(6.0, 8.0, device="fw", kind="count.setup", phase="other"),
+               _uncore(0.0, 4.0)]
+        report = check_intervals(ivs, 10.0, _nodes(failed_at=4.0))
+        [v] = report.by_rule("core-crash-clip")
+        assert "starts after" in v.message
+
+    def test_uncore_gap_rejected(self):
+        ivs = [_uncore(0.0, 4.0), _uncore(6.0, 10.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        [v] = report.by_rule("uncore-partition")
+        assert "gap" in v.message and v.time == 4.0
+
+    def test_uncore_overlap_rejected(self):
+        ivs = [_uncore(0.0, 6.0, "map"), _uncore(4.0, 10.0, "other")]
+        report = check_intervals(ivs, 10.0, _nodes())
+        [v] = report.by_rule("uncore-partition")
+        assert "double-charged" in v.message
+
+    def test_uncore_short_of_makespan_rejected(self):
+        ivs = [_uncore(0.0, 8.0)]
+        report = check_intervals(ivs, 10.0, _nodes())
+        [v] = report.by_rule("uncore-partition")
+        assert "makespan" in v.message
+
+    def test_uncore_missing_entirely_rejected(self):
+        report = check_intervals([Rec(0.0, 1.0)], 10.0, _nodes())
+        [v] = report.by_rule("uncore-partition")
+        assert "no uncore windows" in v.message
+
+    def test_uncore_clipped_at_crash_accepted(self):
+        ivs = [_uncore(0.0, 4.0)]
+        assert check_intervals(ivs, 10.0, _nodes(failed_at=4.0)).ok
+
+    def test_verify_raises_with_report_attached(self):
+        t = Tracer()
+        simulate_job("atom", "wordcount", data_per_node_gb=0.0625, obs=t)
+        t.job.intervals.append(
+            Rec(0.0, t.job.makespan + 5.0, node="atom0"))
+        with pytest.raises(TraceInvariantError) as info:
+            verify_job(t.job)
+        assert info.value.report.by_rule("bounds")
+
+
+class TestRealRuns:
+    def test_quiet_run_passes(self):
+        t = Tracer()
+        simulate_job("atom", "terasort", data_per_node_gb=0.25, obs=t)
+        report = verify_job(t.job)
+        assert report.intervals_checked == len(t.job.intervals)
+
+    def test_crash_run_passes(self):
+        t = Tracer()
+        plan = FaultPlan(node_faults=(NodeFault("atom1", crash_at_s=60.0),))
+        simulate_job("atom", "wordcount", fault_plan=plan, obs=t)
+        report = check_job(t.job)
+        assert report.ok, report.render()
+        assert t.job.node_info("atom1").failed_at == 60.0
+
+    def test_flaky_tasks_run_passes(self):
+        t = Tracer()
+        plan = FaultPlan(seed=1, task_fail_prob=0.15)
+        simulate_job("xeon", "wordcount", fault_plan=plan,
+                     data_per_node_gb=0.5, obs=t)
+        report = check_job(t.job)
+        assert report.ok, report.render()

@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.trace import (Interval, TraceRecorder, merge_intervals,
-                             total_overlap)
+from repro.sim.trace import (Interval, TraceRecorder, complement,
+                             merge_intervals, total_overlap)
 
 spans = st.tuples(st.floats(min_value=0, max_value=1000),
                   st.floats(min_value=0, max_value=1000)).map(
@@ -104,6 +104,19 @@ class TestMergeIntervals:
     def test_empty_spans_dropped(self):
         assert merge_intervals([(1, 1), (2, 2)]) == []
 
+    def test_zero_length_inside_span_dropped(self):
+        assert merge_intervals([(0, 3), (1, 1)]) == [(0, 3)]
+
+    def test_touching_after_merge_coalesced(self):
+        # (0,1) and (1,2) only become adjacent once sorted.
+        assert merge_intervals([(1, 2), (0, 1), (2, 2)]) == [(0, 2)]
+
+    def test_backwards_span_raises(self):
+        # Silently dropping a backwards span hid accounting bugs; it is
+        # now a hard error.
+        with pytest.raises(ValueError, match="backwards span"):
+            merge_intervals([(5.0, 1.0)])
+
     def test_unsorted_input(self):
         assert merge_intervals([(5, 6), (0, 1), (0.5, 5.5)]) == [(0, 6)]
 
@@ -131,3 +144,41 @@ class TestMergeIntervals:
         covered = total_overlap(intervals)
         longest = max((e - s for s, e in intervals), default=0.0)
         assert covered >= longest - 1e-9
+
+
+class TestComplement:
+    def test_empty_spans_give_whole_window(self):
+        assert complement([], 0.0, 10.0) == [(0.0, 10.0)]
+
+    def test_gaps_between_spans(self):
+        assert complement([(1, 2), (4, 6)], 0.0, 10.0) == \
+            [(0.0, 1), (2, 4), (6, 10.0)]
+
+    def test_full_coverage_gives_nothing(self):
+        assert complement([(0, 5), (5, 10)], 0.0, 10.0) == []
+
+    def test_spans_outside_window_clipped(self):
+        assert complement([(-5, 1), (9, 20)], 0.0, 10.0) == [(1, 9)]
+
+    def test_zero_length_spans_ignored(self):
+        assert complement([(3, 3)], 0.0, 10.0) == [(0.0, 10.0)]
+
+    def test_backwards_span_raises(self):
+        with pytest.raises(ValueError):
+            complement([(5.0, 1.0)], 0.0, 10.0)
+
+    def test_backwards_window_raises(self):
+        with pytest.raises(ValueError, match="empty window"):
+            complement([], 5.0, 1.0)
+
+    @given(st.lists(spans, max_size=30))
+    def test_partitions_window_with_merge(self, intervals):
+        lo, hi = 0.0, 1000.0
+        gaps = complement(intervals, lo, hi)
+        merged = merge_intervals(intervals)
+        clipped = sum(min(e, hi) - max(s, lo)
+                      for s, e in merged if e > lo and s < hi)
+        assert sum(e - s for s, e in gaps) + clipped == \
+            pytest.approx(hi - lo)
+        for (s1, e1), (s2, e2) in zip(gaps, gaps[1:]):
+            assert e1 <= s2

@@ -43,6 +43,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..core.characterization import RunKey, simulate_cell
 from ..mapreduce.config import DEFAULT_CONF, JobConf
 from ..mapreduce.driver import JobResult
+from ..obs import prof
 
 __all__ = ["CellError", "CacheStats", "ResultCache", "cache_key",
            "default_cache_dir", "model_fingerprint", "resolve_jobs",
@@ -132,7 +133,19 @@ class CacheStats:
     misses: int           #: lookups this process had to simulate
     stores: int           #: cells this process wrote
 
+    @property
+    def lookups(self) -> int:
+        """Cache probes made by this process (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of this process's lookups served from disk (0..1)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
     def render(self) -> str:
+        rate = (f"{100.0 * self.hit_rate:.1f}% of {self.lookups} lookups"
+                if self.lookups else "n/a (no lookups yet)")
         lines = [
             f"cache directory : {self.path}",
             f"model fingerprint: {self.fingerprint[:16]}",
@@ -141,6 +154,7 @@ class CacheStats:
             f"size on disk     : {self.size_bytes / 1024:.1f} KiB",
             f"this process     : {self.hits} hits, {self.misses} misses, "
             f"{self.stores} stores",
+            f"hit rate         : {rate}",
         ]
         return "\n".join(lines)
 
@@ -176,6 +190,13 @@ class ResultCache:
     def get(self, key: RunKey, conf: JobConf = DEFAULT_CONF
             ) -> Optional[JobResult]:
         """Return the cached result for a cell, or None (counted a miss)."""
+        profiler = prof.ACTIVE
+        if profiler is not None:
+            with profiler.phase("cache.get"):
+                return self._get(key, conf)
+        return self._get(key, conf)
+
+    def _get(self, key: RunKey, conf: JobConf) -> Optional[JobResult]:
         entry = self._entry(key, conf)
         try:
             with open(entry, "rb") as fh:
@@ -193,6 +214,14 @@ class ResultCache:
 
     def put(self, key: RunKey, conf: JobConf, result: JobResult) -> None:
         """Persist one cell atomically."""
+        profiler = prof.ACTIVE
+        if profiler is not None:
+            with profiler.phase("cache.put"):
+                self._put(key, conf, result)
+            return
+        self._put(key, conf, result)
+
+    def _put(self, key: RunKey, conf: JobConf, result: JobResult) -> None:
         self._bucket.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self._bucket, suffix=".tmp")
         try:
@@ -280,15 +309,20 @@ def run_cells(keys: Sequence[RunKey],
             if obs is not None and cache is not None:
                 obs.count("cache.misses")
 
+    profiler = prof.ACTIVE
     if jobs <= 1 or len(pending) <= 1:
         for key in pending:
             span = (obs.begin(key.describe(), ("executor", "serial"),
                               cat="cell") if obs is not None else None)
+            w0 = profiler.clock() if profiler is not None else 0.0
             try:
                 results[key] = simulate_cell(key, conf)
             except Exception as exc:
                 raise CellError(key, exc) from exc
             finally:
+                if profiler is not None:
+                    profiler.record("executor.simulate",
+                                    profiler.clock() - w0)
                 if span is not None:
                     obs.end(span)
             if cache is not None:
@@ -297,18 +331,26 @@ def run_cells(keys: Sequence[RunKey],
         inflight = (obs.counter("executor.inflight", "cells")
                     if obs is not None else None)
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            w0 = profiler.clock() if profiler is not None else 0.0
             futures = [(key, pool.submit(_simulate_worker, key, conf))
                        for key in pending]
+            if profiler is not None:
+                profiler.record("executor.submit", profiler.clock() - w0,
+                                calls=len(futures))
             if inflight is not None:
                 inflight.set(obs.clock(), float(len(futures)))
             for key, future in futures:
                 span = (obs.begin(key.describe(), ("executor", "pool"),
                                   cat="cell") if obs is not None else None)
+                w0 = profiler.clock() if profiler is not None else 0.0
                 try:
                     results[key] = future.result()
                 except Exception as exc:
                     raise CellError(key, exc) from exc
                 finally:
+                    if profiler is not None:
+                        profiler.record("executor.drain",
+                                        profiler.clock() - w0)
                     if span is not None:
                         obs.end(span)
                     if inflight is not None:

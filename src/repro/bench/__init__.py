@@ -1,0 +1,27 @@
+"""Continuous benchmark harness: host-side performance trajectory.
+
+``repro.bench`` measures what the *reproduction itself* costs to run —
+engine event throughput, single-job simulation wall time, sweep executor
+cold/warm cost, trace-export cost, profiler overhead — as a pinned
+scenario suite executed median-of-k with warmup, emitting a
+schema-versioned ``BENCH_<timestamp>.json`` (git rev, host info,
+per-scenario stats, embedded profiler phase breakdown) and a compare
+gate (``repro-hadoop bench compare OLD NEW``) that exits non-zero on
+regression.  See ``docs/OBSERVABILITY.md`` §Profiling & benchmarking.
+
+The simulated results are never touched: benchmarking only *times*
+existing entry points, so a bench run can never change a figure.
+"""
+
+from .compare import (ComparisonRow, compare_reports, load_report,
+                      render_comparison)
+from .runner import (BENCH_SCHEMA, BENCH_SCHEMA_VERSION, default_output_path,
+                     run_suite, write_report)
+from .scenarios import SCENARIOS, Scenario, ScenarioContext
+
+__all__ = [
+    "Scenario", "ScenarioContext", "SCENARIOS",
+    "BENCH_SCHEMA", "BENCH_SCHEMA_VERSION",
+    "run_suite", "write_report", "default_output_path",
+    "ComparisonRow", "compare_reports", "load_report", "render_comparison",
+]

@@ -1,0 +1,126 @@
+"""The perf-regression gate: compare two ``BENCH_*.json`` reports.
+
+``compare_reports(old, new, threshold_pct)`` pairs scenarios by name and
+flags any whose **median** grew by more than the threshold.  The median
+(not min or mean) is the gated statistic: it is what the runner is
+designed to stabilize, and a median regression means the typical rep got
+slower, not that one rep hiccuped.
+
+Statuses per row:
+
+- ``ok``          — within the threshold either way,
+- ``improved``    — median *shrank* by more than the threshold (reported,
+  never fails the gate — but worth a look: large "improvements" in CI
+  are usually measurement drift, and worth re-baselining),
+- ``regression``  — median grew by more than the threshold (fails),
+- ``missing``     — scenario present in only one report (fails when it
+  vanished from *new*: silently dropping a scenario must not make the
+  gate pass).
+
+Cross-host caveat: medians only compare meaningfully between runs on
+similar hardware.  CI compares CI-to-CI against a committed baseline and
+uses a generous threshold (25%) to absorb shared-runner noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .runner import BENCH_SCHEMA, BENCH_SCHEMA_VERSION
+
+__all__ = ["ComparisonRow", "load_report", "compare_reports",
+           "render_comparison"]
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One scenario's old-vs-new verdict."""
+
+    name: str
+    old_median_s: Optional[float]
+    new_median_s: Optional[float]
+    delta_pct: Optional[float]       #: None when either side is missing
+    status: str                      #: ok | improved | regression | missing
+
+    @property
+    def fails(self) -> bool:
+        """Does this row fail the gate?  Regressions and scenarios that
+        disappeared from the new report do; a scenario only *added* in
+        the new report does not (baselines lag new scenarios)."""
+        return (self.status == "regression"
+                or (self.status == "missing" and self.new_median_s is None))
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load and schema-check one bench report."""
+    path = Path(path)
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(report, dict) or report.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{path}: not a {BENCH_SCHEMA!r} report")
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} unsupported "
+            f"(this tool reads version {BENCH_SCHEMA_VERSION})")
+    if not isinstance(report.get("scenarios"), dict):
+        raise ValueError(f"{path}: missing 'scenarios' mapping")
+    return report
+
+
+def compare_reports(old: Dict[str, object], new: Dict[str, object],
+                    threshold_pct: float = DEFAULT_THRESHOLD_PCT
+                    ) -> List[ComparisonRow]:
+    """Pair scenarios by name and classify each against the threshold."""
+    if threshold_pct < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold_pct}")
+    old_sc: Dict[str, dict] = old["scenarios"]   # type: ignore[assignment]
+    new_sc: Dict[str, dict] = new["scenarios"]   # type: ignore[assignment]
+    rows: List[ComparisonRow] = []
+    for name in sorted(set(old_sc) | set(new_sc)):
+        o = old_sc.get(name)
+        n = new_sc.get(name)
+        o_med = float(o["median_s"]) if o else None
+        n_med = float(n["median_s"]) if n else None
+        if o_med is None or n_med is None:
+            rows.append(ComparisonRow(name, o_med, n_med, None, "missing"))
+            continue
+        delta = ((n_med - o_med) / o_med * 100.0) if o_med else 0.0
+        if delta > threshold_pct:
+            status = "regression"
+        elif delta < -threshold_pct:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(ComparisonRow(name, o_med, n_med, delta, status))
+    return rows
+
+
+def render_comparison(rows: List[ComparisonRow],
+                      threshold_pct: float = DEFAULT_THRESHOLD_PCT) -> str:
+    """Terminal table plus a one-line verdict."""
+    lines = [f"{'scenario':<20s} {'old':>10s} {'new':>10s} {'delta':>8s}  "
+             f"status"]
+    for row in rows:
+        old = f"{row.old_median_s * 1e3:.1f}ms" if (
+            row.old_median_s is not None) else "-"
+        new = f"{row.new_median_s * 1e3:.1f}ms" if (
+            row.new_median_s is not None) else "-"
+        delta = f"{row.delta_pct:+.1f}%" if row.delta_pct is not None else "-"
+        mark = " <-- FAIL" if row.fails else ""
+        lines.append(f"{row.name:<20s} {old:>10s} {new:>10s} {delta:>8s}  "
+                     f"{row.status}{mark}")
+    failures = sum(1 for r in rows if r.fails)
+    if failures:
+        lines.append(f"FAIL: {failures} scenario(s) regressed beyond "
+                     f"{threshold_pct:g}% (or went missing)")
+    else:
+        lines.append(f"OK: no scenario regressed beyond {threshold_pct:g}%")
+    return "\n".join(lines)

@@ -1,0 +1,232 @@
+"""The pinned benchmark scenarios.
+
+Every scenario is a named, fixed-configuration measurement of one hot
+path of the reproduction.  Configurations are **pinned** — quick mode
+changes repetition counts, never workloads or data sizes — so any two
+``BENCH_*.json`` files measure the same work and their medians compare
+meaningfully across commits.
+
+A scenario is a callable taking a :class:`ScenarioContext` (scratch
+directory plus memoized expensive fixtures) and returning an optional
+dict of extra metrics; the runner times the call.  Set-up that must not
+be timed (building the traced run for the export scenario, warming the
+sweep cache) lives in context accessors that scenarios call during the
+warmup repetitions.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.executor import ResultCache, run_cells
+from ..core.characterization import RunKey
+from ..mapreduce.driver import simulate_job
+from ..obs import Tracer, perfetto_json, prof, text_summary, timeline_csv
+from ..sim.engine import Simulator
+
+__all__ = ["Scenario", "ScenarioContext", "SCENARIOS", "scenario_names"]
+
+#: Engine micro-benchmark: processes × timeouts each (~30k events).
+_ENGINE_PROCS = 2500
+_ENGINE_TIMEOUTS = 10
+
+#: Pinned single-job configurations (the paper's micro default sizes,
+#: scaled up so one run takes tens of milliseconds — enough to dwarf
+#: timer noise, small enough for median-of-k in CI).
+_JOB_GB = {"wordcount": 4.0, "terasort": 4.0, "kmeans": 2.0}
+
+#: Pinned sweep grid for the cold/warm executor scenarios.
+_SWEEP_KEYS = tuple(
+    RunKey(machine, workload, data_per_node_gb=0.25)
+    for machine in ("atom", "xeon")
+    for workload in ("wordcount", "terasort"))
+
+#: Fixed workload for the profiler-overhead self-check.
+_OVERHEAD_GB = 2.0
+_OVERHEAD_BEST_OF = 5
+
+
+@dataclass
+class ScenarioContext:
+    """Scratch space and memoized fixtures shared by one suite run."""
+
+    tmp: Path
+    _tracer: Optional[Tracer] = None
+    _warm_cache_dir: Optional[Path] = None
+    _counter: int = 0
+
+    def fresh_dir(self, prefix: str) -> Path:
+        """A new empty directory under the suite's scratch space."""
+        self._counter += 1
+        path = self.tmp / f"{prefix}-{self._counter}"
+        path.mkdir(parents=True)
+        return path
+
+    def traced_run(self) -> Tracer:
+        """A traced terasort run (built once, export scenarios reuse it)."""
+        if self._tracer is None:
+            tracer = Tracer()
+            simulate_job("atom", "terasort", data_per_node_gb=1.0,
+                         obs=tracer)
+            self._tracer = tracer
+        return self._tracer
+
+    def warm_cache(self) -> ResultCache:
+        """A result cache pre-populated with the pinned sweep grid."""
+        if self._warm_cache_dir is None:
+            self._warm_cache_dir = self.fresh_dir("warm-cache")
+            run_cells(list(_SWEEP_KEYS), jobs=1,
+                      cache=ResultCache(self._warm_cache_dir))
+        return ResultCache(self._warm_cache_dir)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned measurement: the runner times ``fn(ctx)``."""
+
+    name: str
+    kind: str          #: ``micro`` | ``macro`` | ``self``
+    description: str
+    fn: Callable[[ScenarioContext], Optional[Dict[str, float]]]
+    #: Included in the post-suite profiled pass that fills the bench
+    #: JSON's phase breakdown (self-checks and micro loops are skipped).
+    profile: bool = True
+
+
+# -- scenario bodies ------------------------------------------------------
+
+def _engine_worker(sim: Simulator, delay: float):
+    for _ in range(_ENGINE_TIMEOUTS):
+        yield sim.timeout(delay)
+
+
+def engine_throughput(ctx: ScenarioContext) -> Dict[str, float]:
+    sim = Simulator()
+    for i in range(_ENGINE_PROCS):
+        sim.process(_engine_worker(sim, 0.5 + (i % 7) * 0.25))
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {"events": float(sim.event_count),
+            "events_per_s": sim.event_count / elapsed if elapsed else 0.0}
+
+
+def _job_scenario(workload: str) -> Callable[[ScenarioContext],
+                                             Dict[str, float]]:
+    def run(ctx: ScenarioContext) -> Dict[str, float]:
+        result = simulate_job("atom", workload,
+                              data_per_node_gb=_JOB_GB[workload])
+        return {"sim_makespan_s": result.execution_time_s,
+                "map_attempts": float(result.counters.map_attempts),
+                "reduce_attempts": float(result.counters.reduce_attempts)}
+
+    run.__name__ = f"job_{workload}"
+    return run
+
+
+def sweep_cold(ctx: ScenarioContext) -> Dict[str, float]:
+    cache = ResultCache(ctx.fresh_dir("cold-cache"))
+    run_cells(list(_SWEEP_KEYS), jobs=1, cache=cache)
+    return {"cells": float(len(_SWEEP_KEYS)),
+            "stores": float(cache.stores)}
+
+
+def sweep_warm(ctx: ScenarioContext) -> Dict[str, float]:
+    cache = ctx.warm_cache()
+    run_cells(list(_SWEEP_KEYS), jobs=1, cache=cache)
+    stats = cache.stats()
+    # Cache effectiveness rides along in the bench trajectory: a change
+    # that silently breaks cache keying shows up as hit_rate < 1 here
+    # long before anyone notices `run all` got slow.
+    return {"cells": float(len(_SWEEP_KEYS)),
+            "cache_hits": float(stats.hits),
+            "cache_misses": float(stats.misses),
+            "cache_hit_rate": stats.hit_rate}
+
+
+def trace_export(ctx: ScenarioContext) -> Dict[str, float]:
+    tracer = ctx.traced_run()          # memoized: built during warmup
+    json_text = perfetto_json(tracer)
+    csv_text = timeline_csv(tracer.job)
+    summary = text_summary(tracer)
+    return {"json_bytes": float(len(json_text)),
+            "csv_bytes": float(len(csv_text)),
+            "summary_bytes": float(len(summary)),
+            "spans": float(len(tracer.spans))}
+
+
+def profiler_overhead(ctx: ScenarioContext) -> Dict[str, float]:
+    """Self-check: wall cost of the same job with profiling off vs on.
+
+    Uses best-of-N on both sides — the minimum is the noise-robust
+    estimator for a deterministic workload — with the off/on runs
+    *interleaved*, so load or frequency drift on a busy host lands on
+    both sides equally and the reported overhead is instrumentation
+    cost, not scheduler jitter.  The bench gate asserts this stays
+    small (< 5%); the profiler's whole design (coarse phases, batched
+    engine timing) exists to keep it there.
+    """
+    def once(profiled: bool) -> float:
+        t0 = time.perf_counter()
+        if profiled:
+            with prof.profiled():
+                simulate_job("atom", "wordcount",
+                             data_per_node_gb=_OVERHEAD_GB)
+        else:
+            simulate_job("atom", "wordcount", data_per_node_gb=_OVERHEAD_GB)
+        return time.perf_counter() - t0
+
+    once(False), once(True)   # untimed warmup pair: absorb cold-start cost
+    pairs = [(once(False), once(True)) for _ in range(_OVERHEAD_BEST_OF)]
+    baseline = min(b for b, _ in pairs)
+    profiled = min(p for _, p in pairs)
+    overhead = (profiled - baseline) / baseline * 100.0 if baseline else 0.0
+    return {"baseline_s": baseline, "profiled_s": profiled,
+            "overhead_pct": overhead}
+
+
+#: The pinned suite, in execution order.
+SCENARIOS: List[Scenario] = [
+    Scenario("engine.throughput", "micro",
+             "dispatch ~30k timeout events through a bare Simulator",
+             engine_throughput, profile=False),
+    Scenario("job.wordcount", "macro",
+             f"single wordcount job, atom, {_JOB_GB['wordcount']:g} GB/node",
+             _job_scenario("wordcount")),
+    Scenario("job.terasort", "macro",
+             f"single terasort job, atom, {_JOB_GB['terasort']:g} GB/node",
+             _job_scenario("terasort")),
+    Scenario("job.kmeans", "macro",
+             f"single k-means job, atom, {_JOB_GB['kmeans']:g} GB/node",
+             _job_scenario("kmeans")),
+    Scenario("sweep.cold", "macro",
+             f"{len(_SWEEP_KEYS)}-cell sweep, empty result cache",
+             sweep_cold),
+    Scenario("sweep.warm", "macro",
+             f"{len(_SWEEP_KEYS)}-cell sweep, fully warm result cache",
+             sweep_warm),
+    Scenario("trace.export", "macro",
+             "Perfetto JSON + timeline CSV + text summary of a traced run",
+             trace_export, profile=False),
+    Scenario("prof.overhead", "self",
+             "profiler-overhead self-check (same job, profiling off vs on)",
+             profiler_overhead, profile=False),
+]
+
+
+def scenario_names() -> List[str]:
+    return [s.name for s in SCENARIOS]
+
+
+def make_context() -> ScenarioContext:
+    """Create a context with a self-cleaning scratch directory."""
+    return ScenarioContext(tmp=Path(tempfile.mkdtemp(prefix="repro-bench-")))
+
+
+def cleanup_context(ctx: ScenarioContext) -> None:
+    shutil.rmtree(ctx.tmp, ignore_errors=True)

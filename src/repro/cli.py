@@ -12,6 +12,8 @@ Examples::
     repro-hadoop validate
     repro-hadoop cache stats
     repro-hadoop cache clear
+    repro-hadoop bench --quick               # host-perf suite -> BENCH_*.json
+    repro-hadoop bench compare OLD NEW       # perf-regression gate
 
 Simulation commands (``run``/``validate``/``report``) share a persistent
 result cache (see ``docs/MODELING.md`` §7): cells already simulated by a
@@ -137,6 +139,46 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--stale-only", action="store_true",
                        help="with 'clear': only drop entries from "
                             "superseded model fingerprints")
+
+    # Run flags shared between `bench` and `bench run`, so both
+    # `bench --quick` and `bench run --quick` work (argparse only applies
+    # a subparser default when the parent has not already set the attr).
+    bench_flags = argparse.ArgumentParser(add_help=False)
+    bench_flags.add_argument("--quick", action="store_true",
+                             help="CI repetition counts (fewer reps/warmup; "
+                                  "scenario workloads are unchanged)")
+    bench_flags.add_argument("--repeat", type=int, default=None, metavar="K",
+                             help="timed repetitions per scenario "
+                                  "(overrides --quick's default)")
+    bench_flags.add_argument("--warmup", type=int, default=None, metavar="K",
+                             help="untimed warmup repetitions per scenario")
+    bench_flags.add_argument("--scenario", action="append", default=None,
+                             metavar="NAME",
+                             help="run only this scenario (repeatable; "
+                                  "see 'bench list')")
+    bench_flags.add_argument("--out", "-o", default=None, metavar="FILE",
+                             help="report path (default "
+                                  "BENCH_<timestamp>.json in cwd)")
+    bench_flags.add_argument("--no-profile", action="store_true",
+                             help="skip the profiled pass (no phase "
+                                  "breakdown in the report)")
+
+    bench = sub.add_parser(
+        "bench", parents=[bench_flags],
+        help="benchmark the reproduction itself (host wall time)")
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_sub.add_parser("run", parents=[bench_flags],
+                         help="run the scenario suite (the default)")
+    bench_sub.add_parser("list", help="list benchmark scenarios")
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare two BENCH_*.json reports; exit 1 "
+                        "if any scenario regressed")
+    bench_compare.add_argument("old", help="baseline report (JSON)")
+    bench_compare.add_argument("new", help="candidate report (JSON)")
+    bench_compare.add_argument("--threshold", type=float, default=10.0,
+                               metavar="PCT",
+                               help="median-regression tolerance in percent "
+                                    "(default 10)")
     return parser
 
 
@@ -288,6 +330,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .bench import (SCENARIOS, compare_reports, default_output_path,
+                        load_report, render_comparison, run_suite,
+                        write_report)
+    from .bench.runner import render_report
+
+    command = args.bench_command or "run"
+    if command == "list":
+        for scenario in SCENARIOS:
+            print(f"  {scenario.name:20s} [{scenario.kind}] "
+                  f"{scenario.description}")
+        return 0
+    if command == "compare":
+        try:
+            old = load_report(Path(args.old))
+            new = load_report(Path(args.new))
+        except (OSError, ValueError) as exc:
+            print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+            return 2
+        rows = compare_reports(old, new, threshold_pct=args.threshold)
+        print(render_comparison(rows, threshold_pct=args.threshold))
+        return 1 if any(row.fails for row in rows) else 0
+    try:
+        report = run_suite(
+            names=args.scenario, repeat=args.repeat, warmup=args.warmup,
+            quick=args.quick, profile=not args.no_profile,
+            progress=lambda msg: print(msg, file=sys.stderr))
+    except ValueError as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else default_output_path()
+    write_report(report, out)
+    print(render_report(report))
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = _open_cache(args.cache_dir)
     if args.action == "stats":
@@ -328,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

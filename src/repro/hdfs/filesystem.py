@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from ..cluster.server import Cluster, ServerNode
+from ..obs import prof
 from ..sim.engine import Simulator
 from .blocks import Block, split_input
 from .namenode import NameNode
@@ -56,6 +57,12 @@ class HDFS:
         Mirrors the paper's methodology: datasets are staged into HDFS
         before the measured run starts.
         """
+        profiler = prof.ACTIVE
+        if profiler is not None:
+            with profiler.phase("hdfs.load_input"):
+                blocks = split_input(file, total_bytes,
+                                     self.block_size_bytes)
+                return self.namenode.register_file(file, blocks)
         blocks = split_input(file, total_bytes, self.block_size_bytes)
         return self.namenode.register_file(file, blocks)
 

@@ -15,6 +15,7 @@ import random
 import zlib
 from typing import Dict, List, Optional, Sequence
 
+from ..obs import prof
 from .blocks import Block
 
 __all__ = ["NameNode"]
@@ -38,6 +39,18 @@ class NameNode:
     # -- placement ---------------------------------------------------------
     def place_block(self, block: Block, writer: Optional[str] = None) -> Block:
         """Choose replica nodes for *block*; returns the placed block."""
+        profiler = prof.ACTIVE
+        if profiler is not None:
+            # Direct clock reads: this runs once per block, and the
+            # contextmanager machinery would dominate the measured cost.
+            t0 = profiler.clock()
+            try:
+                return self._place_block(block, writer)
+            finally:
+                profiler.record("hdfs.place_block", profiler.clock() - t0)
+        return self._place_block(block, writer)
+
+    def _place_block(self, block: Block, writer: Optional[str]) -> Block:
         if writer is not None and writer not in self.node_names:
             raise ValueError(f"unknown writer node {writer!r}")
         if writer is None:

@@ -1,21 +1,29 @@
-"""Observability subsystem: tracing, metrics, exporters, invariants.
+"""Observability subsystem: tracing, metrics, profiling, exporters.
 
 ``repro.obs`` is strictly additive: nothing in the simulator imports it
-at module scope except through ``sim.obs`` attribute guards, a run
-without a tracer records nothing, and scalar outputs are byte-identical
-with tracing on or off.  See ``docs/OBSERVABILITY.md``.
+at module scope except through ``sim.obs`` attribute guards and the
+equally-guarded ``prof.ACTIVE`` handle, a run without a tracer or
+profiler records nothing, and scalar outputs are byte-identical with
+tracing/profiling on or off.  See ``docs/OBSERVABILITY.md``.
+
+Two clocks, deliberately separated: :class:`Tracer` (attached) reads
+*simulated* time and describes the modeled cluster; :mod:`repro.obs.prof`
+reads *wall* time and describes what the reproduction costs the host.
 """
 
+from . import prof
 from .export import (perfetto_json, perfetto_trace, text_summary,
                      timeline_csv, write_trace_files)
 from .invariants import (InvariantReport, TraceInvariantError, Violation,
                          check_intervals, check_job, verify_job)
-from .metrics import Counter, CounterRegistry
+from .metrics import Counter, CounterRegistry, LogHistogram
+from .prof import PhaseStat, Profiler
 from .spans import EventRecord, JobTrace, NodeInfo, SpanRecord, Tracer
 
 __all__ = [
     "Tracer", "JobTrace", "NodeInfo", "SpanRecord", "EventRecord",
-    "Counter", "CounterRegistry",
+    "Counter", "CounterRegistry", "LogHistogram",
+    "prof", "Profiler", "PhaseStat",
     "check_intervals", "check_job", "verify_job",
     "InvariantReport", "Violation", "TraceInvariantError",
     "perfetto_trace", "perfetto_json", "timeline_csv", "text_summary",

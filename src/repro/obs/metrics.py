@@ -1,4 +1,4 @@
-"""Time-series counters for the observability subsystem.
+"""Time-series counters and histograms for the observability subsystem.
 
 A :class:`Counter` is a step function over (simulated or wall) time: the
 instrumented code pushes ``(time, value)`` samples and the exporters
@@ -12,13 +12,20 @@ Counters never touch the wall clock themselves — the caller supplies
 every timestamp — which is what keeps traces byte-identical across
 ``--jobs`` widths: simulated time is the only clock that ever reaches a
 job trace.
+
+A :class:`LogHistogram` is the distribution companion: fixed log-scale
+buckets over positive durations, so the wall-clock profiler
+(:mod:`repro.obs.prof`) can report p50/p95/p99 latencies with O(1)
+recording cost and a bounded, mergeable memory footprint.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import bisect
+import math
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Counter", "CounterRegistry"]
+__all__ = ["Counter", "CounterRegistry", "LogHistogram"]
 
 
 class Counter:
@@ -50,25 +57,127 @@ class Counter:
         self.set(time, self.value + delta)
 
     def value_at(self, time: float) -> float:
-        """Counter value in effect at *time* (0 before the first sample)."""
-        out = 0.0
-        for t, v in self.samples:
-            if t > time:
-                break
-            out = v
-        return out
+        """Counter value in effect at *time* (0 before the first sample).
+
+        Sample timestamps are strictly increasing (dedup collapses equal
+        instants), so a right-bisect lands just past the last sample at
+        or before *time* — O(log n), where the old linear scan made the
+        per-interval power-counter folding quadratic on long traces.
+        """
+        i = bisect.bisect_right(self.samples, (time, math.inf))
+        return self.samples[i - 1][1] if i else 0.0
 
     def max_in(self, start: float, end: float) -> float:
         """Maximum value the step function takes inside ``[start, end]``."""
         out = self.value_at(start)
-        for t, v in self.samples:
-            if start <= t <= end:
-                out = max(out, v)
+        lo = bisect.bisect_left(self.samples, (start, -math.inf))
+        hi = bisect.bisect_right(self.samples, (end, math.inf))
+        for _t, v in self.samples[lo:hi]:
+            out = max(out, v)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Counter {self.name}={self.value} "
                 f"({len(self.samples)} samples)>")
+
+
+class LogHistogram:
+    """Fixed-bucket log-scale histogram of positive values (seconds).
+
+    Buckets span :data:`MIN_VALUE` × ``BASE**i`` for ``i`` in
+    ``[0, N_BUCKETS)``; with ``BASE = sqrt(2)`` that is ~6.6 buckets per
+    decade from 0.1 µs up past 1000 s — wide enough for anything a
+    profiler phase can record, with ≤ ~19% relative quantization error
+    per bucket (percentiles return the bucket's geometric midpoint).
+    Values outside the range clamp to the edge buckets; exact ``min`` /
+    ``max`` are tracked separately so clamping never hides an outlier.
+    """
+
+    MIN_VALUE = 1e-7
+    BASE = math.sqrt(2.0)
+    N_BUCKETS = 80
+
+    __slots__ = ("counts", "total", "min", "max", "_log_base", "_log_min")
+
+    def __init__(self):
+        self.counts: List[int] = [0] * self.N_BUCKETS
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._log_base = math.log(self.BASE)
+        self._log_min = math.log(self.MIN_VALUE)
+
+    def bucket_of(self, value: float) -> int:
+        """Index of the bucket *value* falls into (clamped to range)."""
+        if value <= self.MIN_VALUE:
+            return 0
+        i = int((math.log(value) - self._log_min) / self._log_base)
+        return min(max(i, 0), self.N_BUCKETS - 1)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[low, high)`` value bounds of bucket *index*."""
+        low = self.MIN_VALUE * self.BASE ** index
+        return low, low * self.BASE
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record *count* observations of *value* (seconds)."""
+        if count <= 0:
+            return
+        self.counts[self.bucket_of(value)] += count
+        self.total += count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold *other*'s observations into this histogram."""
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (``0 < p <= 100``).
+
+        Returns the geometric midpoint of the bucket holding the p-th
+        observation, clamped to the exact recorded ``[min, max]``; 0.0
+        on an empty histogram.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p!r}")
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                low, high = self.bucket_bounds(i)
+                mid = math.sqrt(low * high)
+                return min(max(mid, self.min), self.max)
+        return self.max if self.max is not None else 0.0  # pragma: no cover
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (sparse buckets + summary quantiles)."""
+        return {
+            "total": self.total,
+            "min_s": self.min,
+            "max_s": self.max,
+            "p50_s": self.percentile(50.0),
+            "p95_s": self.percentile(95.0),
+            "p99_s": self.percentile(99.0),
+            "buckets": {str(i): n for i, n in enumerate(self.counts) if n},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LogHistogram n={self.total} "
+                f"p50={self.percentile(50.0) if self.total else 0:.2g}s>")
 
 
 class CounterRegistry:

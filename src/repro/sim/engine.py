@@ -35,6 +35,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs import prof
+
 __all__ = [
     "Event",
     "Timeout",
@@ -362,8 +364,13 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches *until*.
 
-        Returns the final simulated time.
+        Returns the final simulated time.  With a wall-clock profiler
+        installed (``repro.obs.prof``) the loop runs a profiled twin
+        (:meth:`_run_profiled`) that takes the exact same event path —
+        profiling can change timings of the host, never of the model.
         """
+        if prof.ACTIVE is not None:
+            return self._run_profiled(until, prof.ACTIVE)
         while self._queue:
             when, _seq, event = self._queue[0]
             if event._cancelled:
@@ -380,6 +387,63 @@ class Simulator:
             self.event_count += 1
             event._fire()
         return self._now
+
+    def _run_profiled(self, until: Optional[float],
+                      profiler: "prof.Profiler") -> float:
+        """Dispatch loop twin with wall-clock profiling.
+
+        Reads ``perf_counter`` once per :data:`~repro.obs.prof.DISPATCH_BATCH`
+        events rather than per event, so per-event dispatch latency lands
+        in the histogram (as the batch mean) at well under 1% overhead.
+        Heap pushes and cancelled-event skips are tallied as meta counts.
+        """
+        clock = profiler.clock
+        record = profiler.record
+        queue = self._queue
+        pop = heapq.heappop
+        t_run = clock()
+        seq0 = self._seq
+        count0 = self.event_count
+        skipped = 0
+        try:
+            while queue:
+                # Chunked batches keep the per-event cost identical to the
+                # unprofiled loop: the inner for replaces the while check,
+                # and fired counts come from event_count deltas instead of
+                # a per-event increment.
+                t_batch = clock()
+                n0 = self.event_count
+                for _ in range(prof.DISPATCH_BATCH):
+                    if not queue:
+                        break
+                    when, _seq, event = queue[0]
+                    if event._cancelled:
+                        pop(queue)
+                        skipped += 1
+                        continue
+                    if until is not None and when > until:
+                        n = self.event_count - n0
+                        if n:
+                            record("engine.dispatch", clock() - t_batch, n)
+                        self._now = until
+                        return self._now
+                    pop(queue)
+                    if when < self._now:
+                        raise SimulationError(
+                            f"time travel: event at {when} < now {self._now}")
+                    self._now = when
+                    self.event_count += 1
+                    event._fire()
+                n = self.event_count - n0
+                if n:
+                    record("engine.dispatch", clock() - t_batch, n)
+            return self._now
+        finally:
+            record("engine.run", clock() - t_run)
+            profiler.count("engine.events", self.event_count - count0)
+            profiler.count("engine.heap_pushes", self._seq - seq0)
+            if skipped:
+                profiler.count("engine.cancel_skips", skipped)
 
     def step(self) -> bool:
         """Process a single event; returns False when the queue is empty."""

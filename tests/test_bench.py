@@ -1,0 +1,187 @@
+"""Tests for the benchmark harness: suite, report schema, compare gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA, BENCH_SCHEMA_VERSION, SCENARIOS,
+                         compare_reports, load_report, render_comparison,
+                         run_suite, write_report)
+from repro.bench.runner import render_report
+from repro.bench.scenarios import (cleanup_context, make_context,
+                                   profiler_overhead, scenario_names)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """One real (tiny) suite run shared by the schema tests."""
+    return run_suite(names=["sweep.warm"], repeat=2, warmup=1)
+
+
+class TestScenarios:
+    def test_suite_is_large_and_uniquely_named(self):
+        names = scenario_names()
+        assert len(names) >= 5
+        assert len(set(names)) == len(names)
+        kinds = {s.kind for s in SCENARIOS}
+        assert kinds == {"micro", "macro", "self"}
+
+    def test_unknown_scenario_rejected_before_running(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_suite(names=["no.such.scenario"])
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite(names=["sweep.warm"], repeat=0)
+        with pytest.raises(ValueError):
+            run_suite(names=["sweep.warm"], warmup=-1)
+
+
+class TestReportSchema:
+    def test_schema_and_provenance(self, small_report):
+        assert small_report["schema"] == BENCH_SCHEMA
+        assert small_report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert "rev" in small_report["git"]
+        for key in ("platform", "python", "machine", "cpu_count"):
+            assert key in small_report["host"]
+        assert small_report["config"]["repeat"] == 2
+
+    def test_scenario_stats(self, small_report):
+        row = small_report["scenarios"]["sweep.warm"]
+        assert len(row["reps_s"]) == 2
+        assert row["min_s"] <= row["median_s"] <= row["max_s"]
+        # Satellite: cache effectiveness rides along in the bench JSON.
+        assert row["metrics"]["cache_hit_rate"] == 1.0
+        assert row["metrics"]["cache_misses"] == 0.0
+
+    def test_profile_breakdown_embedded(self, small_report):
+        phases = small_report["profile"]["phases"]
+        assert "cache.get" in phases
+        assert phases["cache.get"]["calls"] >= 1
+
+    def test_write_then_load_roundtrip(self, small_report, tmp_path):
+        path = write_report(small_report, tmp_path / "BENCH_test.json")
+        loaded = load_report(path)
+        assert loaded["scenarios"].keys() == small_report["scenarios"].keys()
+
+    def test_load_rejects_foreign_and_future_files(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"schema\": \"something-else\"}")
+        with pytest.raises(ValueError, match="not a"):
+            load_report(bad)
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA, "schema_version": 99}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_report(future)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(garbage)
+
+    def test_render_report_mentions_every_scenario(self, small_report):
+        assert "sweep.warm" in render_report(small_report)
+
+
+def _fake_report(**medians):
+    return {
+        "schema": BENCH_SCHEMA,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scenarios": {name: {"median_s": m} for name, m in medians.items()},
+    }
+
+
+class TestCompare:
+    def test_injected_regression_fails_the_gate(self):
+        old = _fake_report(**{"a": 0.100, "b": 0.050})
+        new = _fake_report(**{"a": 0.100, "b": 0.080})  # +60%
+        rows = compare_reports(old, new, threshold_pct=25.0)
+        by_name = {r.name: r for r in rows}
+        assert by_name["a"].status == "ok" and not by_name["a"].fails
+        assert by_name["b"].status == "regression" and by_name["b"].fails
+        assert by_name["b"].delta_pct == pytest.approx(60.0)
+        assert "FAIL" in render_comparison(rows, threshold_pct=25.0)
+
+    def test_improvement_is_reported_but_never_fails(self):
+        rows = compare_reports(_fake_report(a=0.2), _fake_report(a=0.1),
+                               threshold_pct=25.0)
+        assert rows[0].status == "improved" and not rows[0].fails
+
+    def test_missing_scenario_fails_only_when_dropped(self):
+        old = _fake_report(kept=0.1, dropped=0.1)
+        new = _fake_report(kept=0.1, added=0.1)
+        by_name = {r.name: r for r in compare_reports(old, new)}
+        assert by_name["dropped"].status == "missing"
+        assert by_name["dropped"].fails           # vanished from new
+        assert by_name["added"].status == "missing"
+        assert not by_name["added"].fails         # baselines lag new ones
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            compare_reports(_fake_report(a=1.0), _fake_report(a=1.0),
+                            threshold_pct=-1.0)
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in SCENARIOS:
+            assert scenario.name in out
+
+    def test_bench_run_writes_report(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_cli.json"
+        assert main(["bench", "--scenario", "sweep.warm", "--repeat", "1",
+                     "--warmup", "0", "--no-profile",
+                     "-o", str(out_file)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        report = load_report(out_file)
+        assert list(report["scenarios"]) == ["sweep.warm"]
+        assert report["profile"] is None
+
+    def test_bench_run_subcommand_takes_same_flags(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_sub.json"
+        assert main(["bench", "run", "--scenario", "sweep.warm",
+                     "--repeat", "1", "--warmup", "0", "--no-profile",
+                     "-o", str(out_file)]) == 0
+        capsys.readouterr()
+        assert out_file.exists()
+
+    def test_bench_compare_exit_codes(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        report = _fake_report(a=0.1, b=0.1)
+        old.write_text(json.dumps(report))
+        regressed = copy.deepcopy(report)
+        regressed["scenarios"]["b"]["median_s"] = 0.2
+        new.write_text(json.dumps(regressed))
+        assert main(["bench", "compare", str(old), str(old)]) == 0
+        assert main(["bench", "compare", str(old), str(new),
+                     "--threshold", "25"]) == 1
+        assert main(["bench", "compare", str(old), "/nonexistent.json"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["bench", "--scenario", "bogus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestProfilerOverhead:
+    def test_overhead_self_check_under_budget(self):
+        """The acceptance bar: profiling adds < 5% wall time.
+
+        Best-of-3 on both sides makes this a property of the
+        instrumentation (guarded sites, batched engine timing), not of
+        scheduler noise.
+        """
+        ctx = make_context()
+        try:
+            metrics = profiler_overhead(ctx)
+        finally:
+            cleanup_context(ctx)
+        assert metrics["baseline_s"] > 0
+        assert metrics["overhead_pct"] < 5.0

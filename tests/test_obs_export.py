@@ -10,8 +10,9 @@ import pytest
 from repro.analysis.executor import ResultCache, run_cells
 from repro.core.characterization import RunKey
 from repro.mapreduce.driver import simulate_job
-from repro.obs import (Tracer, perfetto_json, perfetto_trace, text_summary,
-                       timeline_csv, write_trace_files)
+from repro.obs import (JobTrace, NodeInfo, Tracer, perfetto_json,
+                       perfetto_trace, text_summary, timeline_csv,
+                       write_trace_files)
 from repro.sim.faults import FaultPlan, NodeFault
 
 GOLDEN = Path(__file__).parent / "data" / "wordcount_small_trace.json"
@@ -153,6 +154,62 @@ class TestWriteTraceFiles:
                                            "summary.txt"]
         for p in paths:
             assert p.exists() and p.stat().st_size > 0
+
+
+def _bare_trace(makespan: float = 0.0, nodes=()) -> Tracer:
+    """A tracer carrying a hand-built JobTrace (no simulation ran)."""
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.job = JobTrace(
+        workload="synthetic", machine="atom", makespan=makespan,
+        intervals=[], marks=[], nodes=list(nodes), node_power={},
+        stages=[], counters=None)
+    return tracer
+
+
+class TestExporterEdgeCases:
+    """Degenerate traces must still export valid, non-crashing artifacts."""
+
+    def test_empty_trace(self):
+        tracer = _bare_trace()
+        doc = json.loads(perfetto_json(tracer))
+        # Only process metadata survives; no spans, counters or instants.
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        assert doc["otherData"]["makespan_s"] == 0.0
+        csv_text = timeline_csv(tracer.job)
+        assert csv_text.splitlines()[0].startswith("bin_start_s,")
+        assert len(csv_text.splitlines()) == 1  # header only: no nodes
+        summary = text_summary(tracer)
+        assert "synthetic on atom (0 nodes)" in summary
+        assert "0.0 busy device-seconds" in summary
+
+    def test_zero_length_spans(self):
+        tracer = _bare_trace(
+            makespan=10.0, nodes=[NodeInfo("atom0", "atom", 4)])
+        with tracer.span("instantaneous", ("atom0", "slot0"), cat="task"):
+            pass  # clock frozen: start == end
+        tracer.begin("open-at-makespan", ("driver", "stages"))
+        doc = json.loads(perfetto_json(tracer))
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert spans["instantaneous"]["dur"] == 0.0
+        # An unclosed span is clamped to the makespan, never negative.
+        assert spans["open-at-makespan"]["dur"] == pytest.approx(10.0 * 1e6)
+        assert text_summary(tracer)
+
+    def test_counter_deduped_to_one_entry(self):
+        tracer = _bare_trace(
+            makespan=10.0, nodes=[NodeInfo("atom0", "atom", 4)])
+        running = tracer.counter("tasks.running")
+        running.set(0.0, 3.0)
+        running.set(0.0, 5.0)   # same instant: collapses to the latest
+        running.set(4.0, 5.0)   # no step: dropped
+        assert running.samples == [(0.0, 5.0)]
+        doc = json.loads(perfetto_json(tracer))
+        counter_events = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counter_events) == 1
+        assert counter_events[0]["args"]["value"] == 5.0
+        # The running-task chart renders a flat line from the single step.
+        summary = text_summary(tracer)
+        assert "running tasks" in summary and "peak 5" in summary
 
 
 class TestExecutorObservability:

@@ -239,10 +239,10 @@ class ResultCache:
     def stats(self) -> CacheStats:
         current = stale = size = 0
         if self.path.is_dir():
-            for bucket in self.path.iterdir():
+            for bucket in sorted(self.path.iterdir()):
                 if not bucket.is_dir():
                     continue
-                entries = list(bucket.glob("*.pkl"))
+                entries = sorted(bucket.glob("*.pkl"))
                 size += sum(e.stat().st_size for e in entries)
                 if bucket.name == self.fingerprint[:16]:
                     current = len(entries)
@@ -258,12 +258,12 @@ class ResultCache:
         removed = 0
         if not self.path.is_dir():
             return 0
-        for bucket in list(self.path.iterdir()):
+        for bucket in sorted(self.path.iterdir()):
             if not bucket.is_dir():
                 continue
             if stale_only and bucket.name == self.fingerprint[:16]:
                 continue
-            removed += len(list(bucket.glob("*.pkl")))
+            removed += len(sorted(bucket.glob("*.pkl")))
             shutil.rmtree(bucket)
         return removed
 

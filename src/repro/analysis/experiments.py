@@ -166,7 +166,10 @@ def fig2_edxp_suites(ch: Optional[Characterizer] = None) -> Experiment:
                          ("Avg_Parsec", PARSEC_21)):
         for x in (1, 2, 3):
             per_bench = []
-            for profile in suite.values():
+            # Suite dicts are literals: insertion order is fixed, and
+            # re-sorting would change the FP summation order behind the
+            # published per-suite averages.
+            for profile in suite.values():  # detlint: disable=DET004 -- literal dict, fixed order
                 runs = {m: run_traditional(specs[m], profile)
                         for m in MACHINES}
                 per_bench.append(

@@ -130,7 +130,9 @@ def sweep(characterizer: Optional[Characterizer] = None,
         if name not in _AXES:
             raise KeyError(f"unknown sweep axis {name!r}; valid: {_AXES}")
     ch = characterizer if characterizer is not None else Characterizer()
-    names = tuple(axes.keys())
+    # Axis order is the caller's kwargs order by design (it names the
+    # cell-tuple layout); kwargs dicts iterate deterministically.
+    names = tuple(axes.keys())  # detlint: disable=DET004 -- kwargs order is the API
     cells = [tuple(values) for values in itertools.product(*axes.values())]
     keys = [RunKey(**dict(zip(names, values))) for values in cells]
     ch.run_many(keys, jobs=jobs)

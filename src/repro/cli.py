@@ -14,6 +14,8 @@ Examples::
     repro-hadoop cache clear
     repro-hadoop bench --quick               # host-perf suite -> BENCH_*.json
     repro-hadoop bench compare OLD NEW       # perf-regression gate
+    repro-hadoop lint                        # determinism/purity linter
+    repro-hadoop lint --format json -o lint-report.json
 
 Simulation commands (``run``/``validate``/``report``) share a persistent
 result cache (see ``docs/MODELING.md`` §7): cells already simulated by a
@@ -127,6 +129,30 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--check", action="store_true",
                        help="run the trace invariant checker; exit 1 on "
                             "any violation")
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism/purity linter (repro.lint)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint, relative to the "
+                           "repo root (default: src/repro + the docs)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      dest="output_format",
+                      help="report format on stdout (default text)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file (default lint-baseline.json at "
+                           "the repo root)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current tree "
+                           "and exit 0")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline; every finding gates")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="repo root (default: auto-detected)")
+    lint.add_argument("--output", "-o", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE "
+                           "(for CI artifacts)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
@@ -407,6 +433,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_job(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        from .lint.cli import run_lint
+        return run_lint(
+            paths=args.paths, output_format=args.output_format,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+            no_baseline=args.no_baseline, root=args.root,
+            output=args.output, list_rules=args.list_rules)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "bench":

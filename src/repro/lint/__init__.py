@@ -1,0 +1,36 @@
+"""``repro.lint`` — AST-based determinism & simulation-purity linter.
+
+The reproduction's headline guarantee is byte-identical sweep/trace/CSV
+output at any ``--jobs``, on any platform, for the same seed.  Runtime
+diff jobs in CI verify that property end-to-end but only *after* a full
+sweep; this package catches the underlying bug classes statically, at
+commit time: salted ``hash()`` (DET001), unseeded randomness (DET002),
+wall-clock reads in model code (DET003), unordered iteration feeding
+ordered output (DET004), unsorted directory listings (DET005), host I/O
+inside pure model code (PURE001), unguarded observability handles
+(OBS001) and broken doc links (DOC001).
+
+Entry points:
+
+* ``repro-hadoop lint`` — the CLI (see :mod:`repro.lint.cli`).
+* :func:`lint_tree` / :func:`lint_source` — library API, the latter is
+  the snippet harness the rule tests use.
+* :func:`all_rules` / :class:`Rule` — the registry, for adding rules.
+
+See ``docs/LINTING.md`` for the rule catalog, suppression syntax
+(``# detlint: disable=RULE``) and the baseline workflow.
+"""
+
+from .baseline import Baseline, load_baseline, split_findings
+from .engine import (LintResult, discover_files, find_repo_root,
+                     lint_source, lint_tree)
+from .findings import Finding
+from .registry import FileContext, Rule, all_rules, get_rule, register
+from .suppress import parse_suppressions
+
+__all__ = [
+    "Baseline", "FileContext", "Finding", "LintResult", "Rule",
+    "all_rules", "discover_files", "find_repo_root", "get_rule",
+    "lint_source", "lint_tree", "load_baseline", "parse_suppressions",
+    "register", "split_findings",
+]

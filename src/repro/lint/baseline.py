@@ -1,0 +1,93 @@
+"""Committed finding baseline: pre-existing findings don't gate CI.
+
+The baseline file (``lint-baseline.json`` at the repo root) records the
+multiset of accepted findings keyed by ``(rule, path, message)`` — no
+line numbers, so unrelated edits that shift code around don't invalidate
+it.  The gate then fails only on findings *beyond* the baselined count
+for their key.  ``repro-hadoop lint --update-baseline`` rewrites the
+file from the current tree; the diff review of that file is where
+"accepting" a finding happens.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "split_findings"]
+
+_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of accepted finding keys."""
+
+    def __init__(self, counts: Dict[Key, int]):
+        self.counts = dict(counts)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key for f in findings))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": rel, "message": message, "count": count}
+            for (rule, rel, message), count in sorted(self.counts.items())
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load *path*; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline.empty()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"baseline {path} lacks a 'findings' list")
+    version = payload.get("version", _VERSION)
+    if version != _VERSION:
+        raise ValueError(f"baseline {path} has unsupported version "
+                         f"{version!r} (expected {_VERSION})")
+    counts: Counter = Counter()
+    for entry in payload["findings"]:
+        key = (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        counts[key] += int(entry.get("count", 1))
+    return Baseline(counts)
+
+
+def split_findings(findings: Sequence[Finding], baseline: Baseline
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Partition into ``(new, baselined)`` against *baseline*.
+
+    For each key the first ``baseline.counts[key]`` occurrences (in
+    position order) are considered baselined; any excess is new.
+    """
+    budget = Counter(baseline.counts)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        if budget[finding.baseline_key] > 0:
+            budget[finding.baseline_key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

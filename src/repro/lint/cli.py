@@ -1,0 +1,125 @@
+"""``repro-hadoop lint`` implementation.
+
+Exit codes: 0 — no findings beyond the baseline; 1 — new findings (or
+``--update-baseline`` rewrote the file); 2 — usage/environment errors.
+Output formats: ``text`` (one line per finding, gcc-style) and ``json``
+(schema below, also written to ``--output`` for CI artifacts)::
+
+    {
+      "version": 1,
+      "root": "/abs/path",
+      "files_checked": 57,
+      "counts": {"total": N, "new": N, "baselined": N, "suppressed": N},
+      "findings": [
+        {"rule": "DET001", "path": "src/...", "line": 10, "col": 4,
+         "message": "...", "severity": "error", "new": true},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline, load_baseline, split_findings
+from .engine import find_repo_root, lint_tree
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["run_lint", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+_SCHEMA_VERSION = 1
+
+
+def _report_dict(root: Path, files_checked: int, suppressed: int,
+                 new: Sequence[Finding], old: Sequence[Finding]) -> dict:
+    tagged = ([(f, True) for f in new] + [(f, False) for f in old])
+    tagged.sort(key=lambda pair: pair[0].sort_key)
+    return {
+        "version": _SCHEMA_VERSION,
+        "root": str(root),
+        "files_checked": files_checked,
+        "counts": {
+            "total": len(new) + len(old),
+            "new": len(new),
+            "baselined": len(old),
+            "suppressed": suppressed,
+        },
+        "findings": [dict(f.to_dict(), new=is_new) for f, is_new in tagged],
+    }
+
+
+def _render_text(report: dict) -> str:
+    lines: List[str] = []
+    for entry in report["findings"]:
+        marker = "" if entry["new"] else " (baselined)"
+        lines.append(f"{entry['path']}:{entry['line']}:{entry['col'] + 1}: "
+                     f"{entry['rule']} [{entry['severity']}] "
+                     f"{entry['message']}{marker}")
+    counts = report["counts"]
+    lines.append(f"lint: {report['files_checked']} files, "
+                 f"{counts['new']} new finding(s), "
+                 f"{counts['baselined']} baselined, "
+                 f"{counts['suppressed']} suppressed")
+    return "\n".join(lines)
+
+
+def run_lint(paths: Sequence[str] = (),
+             output_format: str = "text",
+             baseline_path: Optional[str] = None,
+             update_baseline: bool = False,
+             no_baseline: bool = False,
+             root: Optional[str] = None,
+             output: Optional[str] = None,
+             list_rules: bool = False,
+             stdout=None) -> int:
+    """Run the linter; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if list_rules:
+        for rule in all_rules():
+            print(f"  {rule.id:8s} [{rule.kind}] {rule.description}",
+                  file=out)
+        return 0
+
+    repo_root = (Path(root).resolve() if root is not None
+                 else find_repo_root())
+    if not repo_root.is_dir():
+        print(f"repro-hadoop lint: error: root {repo_root} is not a "
+              f"directory", file=sys.stderr)
+        return 2
+
+    result = lint_tree(repo_root, paths=list(paths) or None)
+
+    baseline_file = (Path(baseline_path) if baseline_path is not None
+                     else repo_root / DEFAULT_BASELINE_NAME)
+    if update_baseline:
+        Baseline.from_findings(result.findings).save(baseline_file)
+        print(f"wrote {baseline_file} "
+              f"({len(result.findings)} finding(s) baselined)", file=out)
+        return 0
+
+    if no_baseline:
+        baseline = Baseline.empty()
+    else:
+        try:
+            baseline = load_baseline(baseline_file)
+        except ValueError as exc:
+            print(f"repro-hadoop lint: error: {exc}", file=sys.stderr)
+            return 2
+    new, old = split_findings(result.findings, baseline)
+
+    report = _report_dict(repo_root, result.files_checked,
+                          result.suppressed, new, old)
+    rendered = (json.dumps(report, indent=2) if output_format == "json"
+                else _render_text(report))
+    print(rendered, file=out)
+    if output is not None:
+        Path(output).write_text(json.dumps(report, indent=2) + "\n",
+                                encoding="utf-8")
+    gating = [f for f in new if f.severity == "error"]
+    return 1 if gating else 0

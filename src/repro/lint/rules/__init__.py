@@ -1,0 +1,19 @@
+"""Rule modules; importing this package registers every shipped rule.
+
+Rule catalog (see ``docs/LINTING.md`` for the full rationale):
+
+========  =====================================================
+DET001    builtin ``hash()`` (PYTHONHASHSEED-randomized)
+DET002    unseeded ``random.Random()`` / global ``random.*``
+DET003    wall-clock reads inside model code
+DET004    unordered set/dict-view iteration feeding ordered sinks
+DET005    unsorted directory listings
+PURE001   filesystem/network/console I/O in ``sim/`` / ``arch/``
+OBS001    obs/prof handle calls without a ``None`` guard
+DOC001    broken relative markdown links
+========  =====================================================
+"""
+
+from . import determinism, docs, observability, purity
+
+__all__ = ["determinism", "docs", "observability", "purity"]

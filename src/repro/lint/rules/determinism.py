@@ -1,0 +1,325 @@
+"""Determinism rules (DET001-DET005).
+
+These encode the repo's headline guarantee — byte-identical sweep /
+trace / CSV outputs at any ``--jobs``, on any platform, for the same
+seed — as static checks.  Each rule targets a hazard class that has
+either already bitten this repo (DET001: the PYTHONHASHSEED ``hash()``
+partitioner/replica-picker bug fixed in PR 1) or is one refactor away
+from doing so.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from ..astutil import (dotted_name, in_order_insensitive_context,
+                       parent_map)
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["BareHashRule", "UnseededRandomRule", "WallClockRule",
+           "UnsortedSetIterationRule", "UnsortedDirListingRule"]
+
+
+@register
+class BareHashRule(Rule):
+    """DET001: builtin ``hash()`` is salted per process."""
+
+    id = "DET001"
+    name = "bare-hash"
+    description = ("builtin hash() is randomized per process by "
+                   "PYTHONHASHSEED; key-partitioning and placement must "
+                   "use zlib.crc32 or a SHA-256 draw")
+    include = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                yield self.finding(
+                    ctx, node,
+                    "builtin hash() is PYTHONHASHSEED-randomized and "
+                    "differs across worker processes; use zlib.crc32 or "
+                    "a SHA-256 draw (see sim/faults.py)")
+
+
+#: ``random`` module-level functions that draw from (or mutate) the
+#: hidden global RNG, which is shared process state.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "randbytes",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "seed",
+})
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET002: randomness must flow from an explicit seed."""
+
+    id = "DET002"
+    name = "unseeded-random"
+    description = ("random.Random() without a seed and module-level "
+                   "random.*() calls use hidden global/process state; "
+                   "construct random.Random(seed) explicitly")
+    include = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name == "random.Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    "random.Random() without a seed draws from OS "
+                    "entropy; pass an explicit seed")
+            elif (name.startswith("random.")
+                    and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() uses the shared module-level RNG (global "
+                    f"mutable state, seeded per process); use a local "
+                    f"random.Random(seed)")
+            elif (name.startswith(("np.random.", "numpy.random."))
+                    and not name.endswith(".default_rng")):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() uses numpy's legacy global RNG; use "
+                    f"numpy.random.default_rng(seed)")
+            elif (name.endswith(".default_rng")
+                    and name.startswith(("np.", "numpy."))
+                    and not node.args and not node.keywords):
+                yield self.finding(
+                    ctx, node,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "pass an explicit seed")
+
+
+#: Wall-clock reads by dotted name.  ``datetime.now`` covers the
+#: ``from datetime import datetime`` spelling.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+
+#: Names importable ``from time import ...`` that read the wall clock.
+_WALL_CLOCK_FROM_TIME = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+
+@register
+class WallClockRule(Rule):
+    """DET003: simulated components must not read the host clock.
+
+    Simulation time is ``sim.now``; host-cost measurement belongs to
+    the opt-in profiler (``obs/prof.py``), which is the one sanctioned
+    wall-clock reader.
+    """
+
+    id = "DET003"
+    name = "wall-clock-in-model"
+    description = ("model code must use simulated time (sim.now), never "
+                   "the host clock; wall-clock profiling lives in "
+                   "obs/prof.py behind the ACTIVE handle")
+    include = ("src/repro/sim", "src/repro/mapreduce", "src/repro/hdfs",
+               "src/repro/arch")
+    exclude = ("src/repro/obs/prof.py",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        # Track `from time import perf_counter [as pc]` style aliases.
+        aliased: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_FROM_TIME:
+                        local = alias.asname or alias.name
+                        aliased[local] = f"time.{alias.name}"
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            origin = aliased.get(name, name)
+            if origin in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{origin}() reads the host clock inside model code; "
+                    f"use sim.now for simulated time or the obs/prof.py "
+                    f"profiler for host cost")
+
+
+#: ``x.<method>(unordered)`` / ``<builtin>(unordered)`` argument sinks
+#: whose output depends on iteration order.
+_SINK_METHODS = frozenset({"join", "writerow", "writerows", "writelines",
+                           "extend", "append", "write"})
+_SINK_BUILTINS = frozenset({"list", "tuple"})
+
+
+def _unordered_desc(node: ast.AST) -> Optional[str]:
+    """Describe *node* if its iteration order is hash/insertion-driven."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return name
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("values", "keys")
+                and not node.args and not node.keywords):
+            return f"dict.{node.func.attr}()"
+    return None
+
+
+def _sink_name(parent: ast.AST, child: ast.AST) -> Optional[str]:
+    """Name of the order-sensitive sink *parent* feeds *child* into."""
+    if isinstance(parent, (ast.Yield, ast.YieldFrom)):
+        return "yield"
+    if isinstance(parent, ast.Return):
+        return "return"
+    if isinstance(parent, ast.Call) and (
+            child in parent.args
+            or any(kw.value is child for kw in parent.keywords)):
+        if (isinstance(parent.func, ast.Attribute)
+                and parent.func.attr in _SINK_METHODS):
+            return f".{parent.func.attr}()"
+        if (isinstance(parent.func, ast.Name)
+                and parent.func.id in _SINK_BUILTINS):
+            return f"{parent.func.id}()"
+    return None
+
+
+def _body_sink(body: List[ast.stmt]) -> Optional[ast.AST]:
+    """First order-sensitive sink statement inside a loop body."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SINK_METHODS):
+                return node
+    return None
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    """DET004: unordered iteration must not feed ordered output."""
+
+    id = "DET004"
+    name = "unsorted-set-iteration"
+    description = ("iterating a set (hash order) or dict view (insertion "
+                   "order) into yield/append/join/writerow makes output "
+                   "order depend on incidental state; wrap in sorted()")
+    include = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        parents = parent_map(tree)
+        for node in ast.walk(tree):
+            desc = _unordered_desc(node)
+            if desc is None:
+                continue
+            hit = self._consumes_unordered(node, desc, parents)
+            if hit is not None:
+                yield self.finding(ctx, node, hit)
+
+    def _consumes_unordered(self, node: ast.AST, desc: str,
+                            parents) -> Optional[str]:
+        if in_order_insensitive_context(node, parents):
+            return None
+        parent = parents.get(node)
+        if parent is None:
+            return None
+        # for x in <unordered>: ... <sink> ...
+        if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+            if _body_sink(parent.body) is not None:
+                return (f"loop over unordered {desc} feeds an "
+                        f"order-sensitive sink; iterate sorted({desc})")
+            return None
+        # [f(x) for x in <unordered>] handed to a sink / yield / return.
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            comp = parents.get(parent)
+            if not isinstance(comp, (ast.ListComp, ast.GeneratorExp)):
+                return None
+            if in_order_insensitive_context(comp, parents):
+                return None
+            comp_parent = parents.get(comp)
+            sink = (_sink_name(comp_parent, comp)
+                    if comp_parent is not None else None)
+            if sink is not None:
+                return (f"comprehension over unordered {desc} feeds "
+                        f"{sink}; wrap the iterable in sorted()")
+            return None
+        # <sink>(<unordered>) directly.  Return/yield of the collection
+        # *object* is fine (the hazard is iteration order, and the
+        # caller decides how to iterate); only call sinks that iterate
+        # the argument count here.
+        sink = _sink_name(parent, node)
+        if sink is not None and sink not in ("return", "yield"):
+            return (f"unordered {desc} feeds {sink}; wrap it in sorted()")
+        return None
+
+
+#: Directory-listing calls whose order is filesystem-dependent.
+_LISTING_CALLS = frozenset({"os.listdir", "os.scandir",
+                            "glob.glob", "glob.iglob"})
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+@register
+class UnsortedDirListingRule(Rule):
+    """DET005: directory listings must be sorted before use."""
+
+    id = "DET005"
+    name = "unsorted-dir-listing"
+    description = ("os.listdir/glob.glob/Path.glob return entries in "
+                   "filesystem order, which differs across platforms and "
+                   "runs; wrap in sorted()")
+    include = ("src/repro",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        parents = parent_map(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            is_listing = name in _LISTING_CALLS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _LISTING_METHODS)
+            if not is_listing:
+                continue
+            if in_order_insensitive_context(node, parents):
+                continue
+            shown = name or f".{node.func.attr}(...)"
+            yield self.finding(
+                ctx, node,
+                f"{shown} yields entries in filesystem order; wrap the "
+                f"call in sorted() before iterating or counting on order")

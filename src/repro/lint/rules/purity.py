@@ -1,0 +1,83 @@
+"""Simulation-purity rule (PURE001).
+
+``sim/`` and ``arch/`` hold the discrete-event engine and the machine
+models — pure state machines over simulated time.  Any filesystem,
+network or console side effect in there leaks host state into the
+model, breaks process-pool fan-out (workers would race on shared
+files), and couples cell results to the environment, defeating the
+content-addressed result cache.  I/O belongs to the analysis/export
+layer and the CLI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["ImpureModelCodeRule"]
+
+#: Builtins that touch the host console or filesystem.
+_IMPURE_BUILTINS = frozenset({"open", "input", "print", "exec", "eval"})
+
+#: Module prefixes that are I/O by construction.
+_IMPURE_PREFIXES = ("subprocess.", "socket.", "urllib.", "requests.",
+                    "http.", "shutil.", "tempfile.")
+
+#: ``os.*`` calls that mutate or read the filesystem/environment (the
+#: arithmetic helpers like ``os.cpu_count`` are left alone — they are
+#: still suspect in model code but not I/O).
+_IMPURE_OS = frozenset({
+    "os.system", "os.popen", "os.remove", "os.unlink", "os.rename",
+    "os.replace", "os.makedirs", "os.mkdir", "os.rmdir", "os.truncate",
+    "os.open", "os.getenv", "os.putenv", "os.environ.get",
+})
+
+#: ``pathlib.Path`` methods that hit the disk.  ``str`` and the other
+#: common value types have none of these, so attribute-name matching is
+#: safe without type inference.
+_IMPURE_PATH_METHODS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes", "mkdir",
+    "rmdir", "unlink", "touch", "symlink_to", "hardlink_to",
+})
+
+
+@register
+class ImpureModelCodeRule(Rule):
+    """PURE001: no filesystem/network/console I/O in model code."""
+
+    id = "PURE001"
+    name = "impure-model-code"
+    description = ("sim/ and arch/ are pure models over simulated time; "
+                   "filesystem, network and console I/O belongs to the "
+                   "analysis/export layer and the CLI")
+    include = ("src/repro/sim", "src/repro/arch")
+
+    def _impure_call(self, node: ast.Call) -> Optional[str]:
+        name = dotted_name(node.func)
+        if name is not None:
+            if name in _IMPURE_BUILTINS or name in _IMPURE_OS:
+                return name
+            if name.startswith(_IMPURE_PREFIXES):
+                return name
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _IMPURE_PATH_METHODS):
+            return f".{node.func.attr}()"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        tree = ctx.tree
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._impure_call(node)
+            if name is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{name} performs host I/O inside model code; move "
+                    f"it to the analysis/export layer or the CLI")

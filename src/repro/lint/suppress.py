@@ -1,0 +1,90 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the ``# noqa`` / ``# pylint: disable`` convention:
+
+* ``# detlint: disable=DET001`` — suppress the named rule(s) on *this
+  line* (comma-separated ids, or ``all``).  Attach it to the offending
+  line together with a short justification::
+
+      entries = list(bucket.glob("*.pkl"))  # detlint: disable=DET005 -- count only
+
+* ``# detlint: disable-file=DET004`` — suppress the rule(s) for the
+  whole file.  Put it near the top of the module with a comment
+  explaining why the file is exempt.
+
+Everything after ``--`` in the directive is a free-form justification
+and is ignored by the parser (but expected by reviewers).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*detlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression directives for one file."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]],
+                 file_wide: FrozenSet[str]):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if ALL in self._file_wide or rule_id in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        return rules is not None and (ALL in rules or rule_id in rules)
+
+
+def _parse_rule_list(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        part.strip().lower() if part.strip().lower() == ALL
+        else part.strip().upper()
+        for part in raw.split(",") if part.strip())
+
+
+def _comment_lines(text: str) -> Iterator[Tuple[int, str]]:
+    """``(lineno, comment)`` for every real ``#`` comment in *text*.
+
+    Python sources are tokenized so directives quoted inside strings or
+    docstrings (e.g. the examples in this module's own docstring) are
+    not honored; if tokenization fails (markdown, broken syntax) every
+    line is considered, which errs toward suppressing.
+    """
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            yield lineno, line
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Extract ``detlint`` directives from *text* (full file contents)."""
+    by_line: Dict[int, FrozenSet[str]] = {}
+    file_wide: Tuple[str, ...] = ()
+    for lineno, line in _comment_lines(text):
+        match = _DIRECTIVE_RE.search(line)
+        if not match:
+            continue
+        # Strip a trailing "-- justification" clause from the rule list.
+        raw = match.group(2).split("--", 1)[0]
+        rules = _parse_rule_list(raw)
+        if not rules:
+            continue
+        if match.group(1) == "disable-file":
+            file_wide = tuple(set(file_wide) | rules)
+        else:
+            by_line[lineno] = by_line.get(lineno, frozenset()) | rules
+    return Suppressions(by_line, frozenset(file_wide))

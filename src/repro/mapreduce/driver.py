@@ -394,7 +394,10 @@ class _PhaseRunner:
         self._completed_rates.append(1.0 / duration)
         if att.speculative:
             self.counters.speculative_wins += 1
-        for loser in list(rec.running.values()):
+        # Attempt dicts fill in simulated-event order, which is fixed
+        # under a seed; interrupt delivery must follow that order, not
+        # an alphabetical one (audited for PR 5, see docs/LINTING.md).
+        for loser in list(rec.running.values()):  # detlint: disable=DET004 -- insertion order is event order
             loser.process.interrupt("lost the speculation race")
         self.log.append(rec)
         self.outstanding -= 1

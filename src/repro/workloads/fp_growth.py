@@ -243,7 +243,9 @@ def parallel_fp_growth(transactions: Sequence[Sequence[str]],
 
     # --- Job 1: item counting -------------------------------------------
     def count_mapper(_key, transaction: Sequence[str]):
-        for item in set(transaction):
+        # sorted(): string-set iteration order is PYTHONHASHSEED-salted,
+        # and the emit order flows into the shuffle (DET004).
+        for item in sorted(set(transaction)):
             yield (item, 1)
 
     def count_reducer(item, counts: List[int]):

@@ -1,0 +1,524 @@
+"""`repro.lint`: rule fixtures, suppressions, baseline, CLI, self-check.
+
+Every shipped rule gets at least one positive and one negative snippet
+through the :func:`repro.lint.lint_source` harness; the suite ends with
+the self-check that the real tree lints clean modulo the committed
+baseline — the invariant the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (Baseline, Finding, all_rules, get_rule, lint_source,
+                        lint_tree, load_baseline, parse_suppressions,
+                        split_findings)
+from repro.lint.cli import run_lint
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SIM = "src/repro/sim/example.py"
+ANY = "src/repro/analysis/example.py"
+
+
+def hits(rule_id: str, source: str, relpath: str = ANY):
+    """Findings of one rule for an in-memory snippet."""
+    source = textwrap.dedent(source)
+    return [f for f in lint_source(source, relpath)
+            if f.rule_id == rule_id]
+
+
+class TestDET001BareHash:
+    def test_positive_bare_hash(self):
+        found = hits("DET001", """\
+            def partition(key, n):
+                return hash(key) % n
+            """)
+        assert len(found) == 1
+        assert found[0].line == 2
+        assert "PYTHONHASHSEED" in found[0].message
+
+    def test_negative_crc32(self):
+        assert not hits("DET001", """\
+            import zlib
+            def partition(key, n):
+                return zlib.crc32(repr(key).encode()) % n
+            """)
+
+    def test_negative_method_named_hash(self):
+        assert not hits("DET001", "digest = hasher.hash()\n")
+
+    def test_out_of_scope_path_ignored(self):
+        assert not hits("DET001", "x = hash('a')\n",
+                        relpath="tools/example.py")
+
+
+class TestDET002UnseededRandom:
+    def test_positive_unseeded_random(self):
+        found = hits("DET002", """\
+            import random
+            rng = random.Random()
+            """)
+        assert len(found) == 1 and "seed" in found[0].message
+
+    def test_positive_module_level_call(self):
+        assert hits("DET002", """\
+            import random
+            x = random.choice(options)
+            """)
+
+    def test_positive_unseeded_default_rng(self):
+        assert hits("DET002", """\
+            import numpy as np
+            rng = np.random.default_rng()
+            """)
+
+    def test_negative_seeded(self):
+        assert not hits("DET002", """\
+            import random
+            rng = random.Random(7)
+            draws = rng.random()
+            """)
+
+    def test_negative_seeded_default_rng(self):
+        assert not hits("DET002", """\
+            import numpy as np
+            rng = np.random.default_rng(7)
+            """)
+
+
+class TestDET003WallClock:
+    def test_positive_time_time_in_sim(self):
+        found = hits("DET003", """\
+            import time
+            t0 = time.time()
+            """, relpath=SIM)
+        assert len(found) == 1 and "sim.now" in found[0].message
+
+    def test_positive_from_import_alias(self):
+        assert hits("DET003", """\
+            from time import perf_counter as pc
+            t0 = pc()
+            """, relpath="src/repro/mapreduce/example.py")
+
+    def test_positive_datetime_now(self):
+        assert hits("DET003", """\
+            from datetime import datetime
+            stamp = datetime.now()
+            """, relpath="src/repro/hdfs/example.py")
+
+    def test_negative_outside_model_scope(self):
+        # Wall time is legitimate in the bench/ and obs/prof layers.
+        assert not hits("DET003", """\
+            import time
+            t0 = time.time()
+            """, relpath="src/repro/bench/example.py")
+
+    def test_negative_sim_now(self):
+        assert not hits("DET003", "t = self.sim.now\n", relpath=SIM)
+
+
+class TestDET004UnsortedSetIteration:
+    def test_positive_loop_feeding_append(self):
+        found = hits("DET004", """\
+            def collect(xs, out):
+                for x in set(xs):
+                    out.append(x)
+            """)
+        assert len(found) == 1 and "sorted" in found[0].message
+
+    def test_positive_loop_feeding_yield(self):
+        assert hits("DET004", """\
+            def emit(transaction):
+                for item in set(transaction):
+                    yield (item, 1)
+            """)
+
+    def test_positive_comprehension_into_join(self):
+        assert hits("DET004", """\
+            def render(xs):
+                return ",".join(str(x) for x in set(xs))
+            """)
+
+    def test_positive_values_into_list(self):
+        assert hits("DET004", "snapshot = list(running.values())\n")
+
+    def test_negative_sorted_loop(self):
+        assert not hits("DET004", """\
+            def collect(xs, out):
+                for x in sorted(set(xs)):
+                    out.append(x)
+            """)
+
+    def test_negative_order_insensitive_reduction(self):
+        assert not hits("DET004", """\
+            total = sum(weights.values())
+            biggest = max(set(xs))
+            """)
+
+    def test_negative_membership_and_return_of_collection(self):
+        assert not hits("DET004", """\
+            def live(nodes, down):
+                ok = "a" in set(nodes)
+                return frozenset(n for n in nodes if n not in down)
+            """)
+
+
+class TestDET005UnsortedDirListing:
+    def test_positive_listdir_loop(self):
+        found = hits("DET005", """\
+            import os
+            def scan(path):
+                for name in os.listdir(path):
+                    handle(name)
+            """)
+        assert len(found) == 1 and "sorted" in found[0].message
+
+    def test_positive_pathlib_glob(self):
+        assert hits("DET005", "entries = list(bucket.glob('*.pkl'))\n")
+
+    def test_negative_sorted_glob(self):
+        assert not hits("DET005", """\
+            import glob
+            files = sorted(glob.glob(pattern))
+            entries = sorted(p for p in root.rglob('*.py'))
+            """)
+
+    def test_negative_length_only(self):
+        assert not hits("DET005",
+                        "n = sum(1 for _ in bucket.iterdir())\n")
+
+
+class TestPURE001ImpureModelCode:
+    def test_positive_open_in_sim(self):
+        found = hits("PURE001", """\
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+            """, relpath=SIM)
+        assert len(found) == 1 and "I/O" in found[0].message
+
+    def test_positive_print_and_path_write(self):
+        found = hits("PURE001", """\
+            def debug(p, msg):
+                print(msg)
+                p.write_text(msg)
+            """, relpath="src/repro/arch/example.py")
+        assert len(found) == 2
+
+    def test_positive_subprocess(self):
+        assert hits("PURE001", """\
+            import subprocess
+            subprocess.run(["ls"])
+            """, relpath=SIM)
+
+    def test_negative_same_code_in_analysis_layer(self):
+        assert not hits("PURE001", """\
+            def load(path):
+                with open(path) as fh:
+                    return fh.read()
+            """, relpath=ANY)
+
+    def test_negative_pure_model_code(self):
+        assert not hits("PURE001", """\
+            def service_time(size_bytes, bw):
+                return size_bytes / bw
+            """, relpath=SIM)
+
+
+class TestOBS001UnguardedHandle:
+    def test_positive_direct_active_call(self):
+        found = hits("OBS001", """\
+            from repro.obs import prof
+            def f():
+                prof.ACTIVE.count("x")
+            """)
+        assert len(found) == 1 and "None" in found[0].message
+
+    def test_positive_unguarded_alias(self):
+        assert hits("OBS001", """\
+            from repro.obs import prof
+            def f():
+                profiler = prof.ACTIVE
+                profiler.record("x", 1.0)
+            """)
+
+    def test_positive_unguarded_sim_obs(self):
+        assert hits("OBS001", """\
+            def g(self):
+                self.sim.obs.count("engine.wakes")
+            """)
+
+    def test_negative_guarded_alias(self):
+        assert not hits("OBS001", """\
+            from repro.obs import prof
+            def f():
+                profiler = prof.ACTIVE
+                if profiler is not None:
+                    profiler.record("x", 1.0)
+            """)
+
+    def test_negative_guarded_attribute(self):
+        assert not hits("OBS001", """\
+            def g(self):
+                if self.sim.obs is not None:
+                    self.sim.obs.count("engine.wakes")
+            """)
+
+    def test_negative_conditional_expression(self):
+        assert not hits("OBS001", """\
+            def g(self, obs):
+                span = self.sim.obs.begin("s") if self.sim.obs is not None else None
+            """)
+
+    def test_negative_inside_obs_package(self):
+        assert not hits("OBS001", """\
+            def install(self):
+                prof.ACTIVE.reset()
+            """, relpath="src/repro/obs/helpers.py")
+
+
+class TestDOC001BrokenLink:
+    def test_positive_broken_relative_link(self, tmp_path):
+        findings = lint_source("see [here](missing/file.md)\n",
+                               relpath="doc.md", root=tmp_path)
+        assert [f.rule_id for f in findings] == ["DOC001"]
+        assert "missing/file.md" in findings[0].message
+
+    def test_negative_existing_external_and_fragment(self, tmp_path):
+        (tmp_path / "other.md").write_text("x")
+        text = ("[a](other.md) [b](https://example.com) "
+                "[c](#anchor) [d](other.md#frag)\n")
+        assert lint_source(text, relpath="doc.md", root=tmp_path) == []
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        assert not hits(
+            "DET001",
+            "x = hash('a')  # detlint: disable=DET001 -- test fixture\n")
+
+    def test_line_suppression_all(self):
+        assert not hits("DET001", "x = hash('a')  # detlint: disable=all\n")
+
+    def test_file_wide_suppression(self):
+        assert not hits("DET001", """\
+            # detlint: disable-file=DET001 -- fixture module
+            x = hash('a')
+            y = hash('b')
+            """)
+
+    def test_other_rules_unaffected(self):
+        source = textwrap.dedent("""\
+            import random
+            x = hash('a')  # detlint: disable=DET001
+            rng = random.Random()
+            """)
+        assert not [f for f in lint_source(source, ANY)
+                    if f.rule_id == "DET001"]
+        assert [f for f in lint_source(source, ANY)
+                if f.rule_id == "DET002"]
+
+    def test_docstring_directive_not_honored(self):
+        # Directives are read from real comments only; quoting one in a
+        # docstring must not disable anything.
+        assert hits("DET001", '''\
+            """Docs quoting `# detlint: disable-file=DET001` verbatim."""
+            x = hash('a')
+            ''')
+
+    def test_parse_suppressions_api(self):
+        sup = parse_suppressions(
+            "a = 1  # detlint: disable=DET001,DET002\n")
+        assert sup.is_suppressed("DET001", 1)
+        assert sup.is_suppressed("DET002", 1)
+        assert not sup.is_suppressed("DET003", 1)
+        assert not sup.is_suppressed("DET001", 2)
+
+
+class TestBaseline:
+    def _findings(self):
+        return [Finding("DET001", "src/a.py", 10, 4, "msg-a"),
+                Finding("DET001", "src/a.py", 20, 4, "msg-a"),
+                Finding("DET004", "src/b.py", 5, 0, "msg-b")]
+
+    def test_round_trip(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = load_baseline(path)
+        new, old = split_findings(findings, loaded)
+        assert new == [] and len(old) == 3
+
+    def test_excess_occurrence_is_new(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings[:1]).save(path)
+        new, old = split_findings(findings, load_baseline(path))
+        assert len(old) == 1
+        assert {f.baseline_key for f in new} == {
+            ("DET001", "src/a.py", "msg-a"), ("DET004", "src/b.py", "msg-b")}
+
+    def test_line_drift_still_matches(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(
+            [Finding("DET001", "src/a.py", 10, 4, "msg-a")]).save(path)
+        drifted = [Finding("DET001", "src/a.py", 99, 0, "msg-a")]
+        new, old = split_findings(drifted, load_baseline(path))
+        assert new == [] and len(old) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json").total == 0
+
+    def test_corrupt_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+def _make_tree(tmp_path: Path, source: str) -> Path:
+    """A minimal repo root with one lintable module."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+class TestCliAndJsonSchema:
+    def test_json_schema_and_exit_code(self, tmp_path):
+        root = _make_tree(tmp_path, """\
+            def partition(key, n):
+                return hash(key) % n
+            """)
+        out = io.StringIO()
+        code = run_lint(root=str(root), output_format="json", stdout=out)
+        assert code == 1
+        report = json.loads(out.getvalue())
+        assert report["version"] == 1
+        assert report["files_checked"] == 1
+        assert report["counts"] == {"total": 1, "new": 1, "baselined": 0,
+                                    "suppressed": 0}
+        (entry,) = report["findings"]
+        assert set(entry) == {"rule", "path", "line", "col", "message",
+                              "severity", "new"}
+        assert entry["rule"] == "DET001" and entry["new"] is True
+        assert entry["path"] == "src/repro/mod.py"
+
+    def test_update_baseline_then_clean(self, tmp_path):
+        root = _make_tree(tmp_path, "x = hash('a')\n")
+        assert run_lint(root=str(root), stdout=io.StringIO()) == 1
+        assert run_lint(root=str(root), update_baseline=True,
+                        stdout=io.StringIO()) == 0
+        out = io.StringIO()
+        assert run_lint(root=str(root), stdout=out) == 0
+        assert "1 baselined" in out.getvalue()
+        # --no-baseline re-exposes the finding.
+        assert run_lint(root=str(root), no_baseline=True,
+                        stdout=io.StringIO()) == 1
+
+    def test_output_file_written(self, tmp_path):
+        root = _make_tree(tmp_path, "x = 1\n")
+        report_path = tmp_path / "report.json"
+        assert run_lint(root=str(root), output=str(report_path),
+                        stdout=io.StringIO()) == 0
+        assert json.loads(report_path.read_text())["counts"]["total"] == 0
+
+    def test_explicit_paths_limit_scope(self, tmp_path):
+        root = _make_tree(tmp_path, "x = hash('a')\n")
+        clean = root / "src" / "repro" / "clean.py"
+        clean.write_text("y = 1\n")
+        out = io.StringIO()
+        code = run_lint(paths=["src/repro/clean.py"], root=str(root),
+                        stdout=out)
+        assert code == 0
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert run_lint(list_rules=True, stdout=out) == 0
+        text = out.getvalue()
+        for rule in all_rules():
+            assert rule.id in text
+
+    def test_main_entry_point(self, tmp_path, capsys):
+        from repro.cli import main
+        root = _make_tree(tmp_path, "x = hash('a')\n")
+        assert main(["lint", "--root", str(root), "--no-baseline"]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+
+class TestSelfCheck:
+    """The committed tree must lint clean modulo the committed baseline."""
+
+    def test_rule_catalog_complete(self):
+        assert [r.id for r in all_rules()] == [
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "DOC001", "OBS001", "PURE001"]
+        for rule in all_rules():
+            assert rule.description and rule.kind in ("python", "markdown")
+
+    def test_tree_lints_clean_modulo_baseline(self):
+        result = lint_tree(ROOT)
+        baseline = load_baseline(ROOT / "lint-baseline.json")
+        new, _old = split_findings(result.findings, baseline)
+        assert new == [], "new lint findings:\n" + "\n".join(
+            f.render() for f in new)
+
+    def test_seeded_hazard_fails_the_gate(self, tmp_path):
+        # Acceptance check from the issue: a reintroduced bare hash()
+        # in mapreduce/functional.py must exit non-zero.
+        target = ROOT / "src" / "repro" / "mapreduce" / "functional.py"
+        sabotaged = target.read_text().replace(
+            "zlib.crc32(repr(key).encode()) % num_reducers",
+            "hash(key) % num_reducers")
+        assert sabotaged != target.read_text(), \
+            "partitioner changed; update this fixture"
+        mirror = tmp_path / "src" / "repro" / "mapreduce"
+        mirror.mkdir(parents=True)
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        (mirror / "functional.py").write_text(sabotaged)
+        out = io.StringIO()
+        code = run_lint(root=str(tmp_path), stdout=out)
+        assert code == 1 and "DET001" in out.getvalue()
+
+
+class TestFPGrowthDeterminismRegression:
+    """PR 5 fix: the PFP count mapper iterated `set(transaction)`.
+
+    String-set iteration order is PYTHONHASHSEED-salted, so the emitted
+    pair stream — and everything downstream of the shuffle — depended
+    on the process's hash seed.  The mapper now iterates
+    ``sorted(set(...))``; this proves the whole PFP result (content
+    *and* iteration order) is hash-seed independent.
+    """
+
+    SCRIPT = textwrap.dedent("""\
+        from repro.workloads.fp_growth import parallel_fp_growth
+        txs = [["milk", "bread", "beer"], ["bread", "butter"],
+               ["milk", "bread", "butter"], ["beer", "diapers"],
+               ["milk", "beer", "diapers", "bread"]] * 3
+        result = parallel_fp_growth(txs, min_support=3, num_groups=3)
+        print([(sorted(k), v) for k, v in result.items()])
+        """)
+
+    def _run(self, hashseed: str) -> str:
+        env = {"PYTHONPATH": str(ROOT / "src"),
+               "PYTHONHASHSEED": hashseed, "PATH": "/usr/bin:/bin"}
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT], env=env,
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_output_identical_across_hash_seeds(self):
+        outputs = {self._run(seed) for seed in ("0", "1", "4242")}
+        assert len(outputs) == 1
+        assert "milk" in outputs.pop()

@@ -1,66 +1,57 @@
 #!/usr/bin/env python3
-"""Docs lint: fail on broken intra-repo markdown links.
+"""Docs lint shim: broken intra-repo markdown links.
 
-Scans every ``*.md`` at the repo root and under ``docs/`` for inline
-markdown links ``[text](target)`` and reports targets that are neither
-external (``http(s)://``, ``mailto:``) nor existing files/directories
-relative to the linking file.  Fragment-only links (``#section``) are
-skipped; ``path#fragment`` links are checked for the path part.
+The actual check now lives in the lint framework as rule **DOC001**
+(``repro.lint.rules.docs``), so ``repro-hadoop lint`` is the single
+lint entry point.  This script remains for muscle memory and for
+callers of its old API: ``broken_links(root)`` / ``markdown_files(root)``
+keep working, now delegating to the framework.
 
 Usage::
 
     python tools/check_links.py [repo-root]
 
 Exit status 0 when all links resolve, 1 otherwise (one line per broken
-link on stderr).  Run by CI (.github/workflows/ci.yml) and by
-``tests/test_docs.py``.
+link on stderr).  Equivalent to ``repro-hadoop lint docs *.md`` —
+prefer the CLI, which also applies the committed baseline.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 from typing import List
 
-LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-EXTERNAL = ("http://", "https://", "mailto:")
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-#: Quoted upstream material (paper abstracts, snippets from other
-#: repositories) whose relative links point into *their* source trees,
-#: plus generated output — not authored docs, so not linted.
-EXCLUDE = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md", "reproduction_report.md"}
+from repro.lint import get_rule  # noqa: E402
+from repro.lint.engine import _iter_markdown_files  # noqa: E402
+from repro.lint.registry import FileContext  # noqa: E402
 
 
 def markdown_files(root: Path) -> List[Path]:
-    files = sorted(p for p in root.glob("*.md") if p.name not in EXCLUDE)
-    docs = root / "docs"
-    if docs.is_dir():
-        files += sorted(docs.glob("*.md"))
-    return files
+    return _iter_markdown_files(Path(root), None)
 
 
 def broken_links(root: Path) -> List[str]:
+    """Old-API adapter: one ``path:line: broken link -> target`` string
+    per DOC001 finding under *root*."""
+    root = Path(root)
+    rule = get_rule("DOC001")
     errors = []
     for md in markdown_files(root):
-        text = md.read_text(encoding="utf-8")
-        for match in LINK_RE.finditer(text):
-            target = match.group(1)
-            if target.startswith(EXTERNAL) or target.startswith("#"):
-                continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            if not (md.parent / path).exists():
-                line = text[:match.start()].count("\n") + 1
-                errors.append(f"{md.relative_to(root)}:{line}: "
-                              f"broken link -> {target}")
+        relpath = md.resolve().relative_to(root.resolve()).as_posix()
+        ctx = FileContext(relpath, md.read_text(encoding="utf-8"), root=root)
+        for finding in rule.check(ctx):
+            errors.append(f"{finding.path}:{finding.line}: "
+                          f"{finding.message}")
     return errors
 
 
 def main(argv: List[str]) -> int:
-    root = Path(argv[1]).resolve() if len(argv) > 1 else (
-        Path(__file__).resolve().parent.parent)
+    root = Path(argv[1]).resolve() if len(argv) > 1 else _REPO_ROOT
     errors = broken_links(root)
     for error in errors:
         print(error, file=sys.stderr)
@@ -68,7 +59,8 @@ def main(argv: List[str]) -> int:
         print(f"{len(errors)} broken link(s)", file=sys.stderr)
         return 1
     checked = len(markdown_files(root))
-    print(f"docs-lint: {checked} markdown files, all intra-repo links ok")
+    print(f"docs-lint: {checked} markdown files, all intra-repo links ok "
+          f"(via repro.lint DOC001)")
     return 0
 
 

@@ -39,7 +39,8 @@ __all__ = [
     "fig13_phase_edp_datasize", "fig14_accel_sweep", "fig15_accel_freq",
     "fig16_accel_block", "table3_cost", "fig17_spider",
     "scheduling_case_study", "phase_scheduling_study", "tuning_study",
-    "fault_sweep", "paper_grid_keys", "warm_grid", "ALL_EXPERIMENTS",
+    "fault_sweep", "datacenter_study", "paper_grid_keys", "warm_grid",
+    "ALL_EXPERIMENTS",
 ]
 
 MACHINES = ("atom", "xeon")
@@ -687,6 +688,102 @@ def fault_sweep(ch: Optional[Characterizer] = None, *, seed: int = 0,
     return exp
 
 
+def datacenter_study(ch: Optional[Characterizer] = None, *, seed: int = 0,
+                     n_nodes: int = 48, little_frac: float = 0.5,
+                     rack_size: int = 8,
+                     policies: Sequence[str] = ("fifo", "fair", "capacity",
+                                                "hetero"),
+                     n_jobs: int = 24, jobs_per_1000s: float = 150.0,
+                     node_choices: Sequence[int] = (2, 3, 4, 6),
+                     size_choices_gb: Sequence[float] = (0.25, 0.5),
+                     goal: str = "EDP", patience_s: float = 180.0,
+                     freq_ghz: float = 1.8,
+                     stream=None) -> Experiment:
+    """DC (extension): cluster-scheduler comparison on mixed racks.
+
+    One seed-deterministic arrival stream replays on the same mixed
+    big+little datacenter under each policy (FIFO, fair, capacity, and
+    the paper's §3.5 heterogeneity-aware placement); the comparison
+    table reports makespan, energy, cluster-wide EDP, waiting and
+    fairness.  Inner per-job runs go through the shared characterizer,
+    so every distinct (pool, shape) cell is simulated once, fans out
+    over ``--jobs`` workers during the prewarm, and lands in the disk
+    cache — results are bit-identical at any worker count.
+
+    Pass *stream* (a :class:`~repro.cluster.arrivals.JobRequest`
+    sequence, e.g. from :func:`~repro.cluster.arrivals.parse_trace`) to
+    replay a recorded trace instead of the synthetic Poisson stream.
+    """
+    from ..cluster.arrivals import ArrivalConfig, poisson_stream
+    from ..cluster.datacenter import (DatacenterSpec, default_job_model,
+                                      run_policies)
+    ch = ch if ch is not None else Characterizer()
+    spec = DatacenterSpec.mixed(n_nodes, little_frac=little_frac,
+                                rack_size=rack_size, freq_ghz=freq_ghz)
+    if stream is None:
+        stream = poisson_stream(ArrivalConfig(
+            seed=seed, n_jobs=n_jobs, jobs_per_1000s=jobs_per_1000s,
+            node_choices=tuple(node_choices),
+            size_choices_gb=tuple(size_choices_gb)))
+    else:
+        stream = tuple(stream)
+    # Prewarm every cell a policy could possibly place: both pools times
+    # each distinct job shape.  This is the parallel hot path; the
+    # policy loops below then find every inner run memoized.
+    shapes = list(dict.fromkeys(
+        (req.workload, req.nodes, req.data_per_node_gb) for req in stream))
+    ch.run_many([RunKey(machine, wl, freq_ghz=freq_ghz, n_nodes=nodes,
+                        data_per_node_gb=gb)
+                 for machine in MACHINES for wl, nodes, gb in shapes])
+    runs = run_policies(spec, stream, tuple(policies),
+                        job_model=default_job_model(ch, freq_ghz=freq_ghz),
+                        goal=goal, patience_s=patience_s)
+
+    exp = Experiment(
+        "DC", f"Datacenter scheduler comparison on {spec.total_nodes} mixed "
+              f"nodes, {len(stream)} jobs (extension, seed {seed})")
+    exp.data["runs"] = runs
+    summary_rows = []
+    for name, run in runs.items():
+        row = {"policy": name}
+        row.update(run.summary())
+        summary_rows.append(row)
+    exp.data["summary"] = summary_rows
+    exp.data["jobs"] = [dict(record, policy=name)
+                        for name, run in runs.items()
+                        for record in run.job_records()]
+    header = list(summary_rows[0])
+    exp.sections.append(format_table(
+        header, [[row[k] for k in header] for row in summary_rows],
+        title=f"{spec.pool_sizes()} nodes, {len(stream)} jobs, "
+              f"goal {goal}"))
+    baseline = runs.get("fifo")
+    if baseline is not None and baseline.cluster_edp > 0:
+        rows = [[name, run.cluster_edp / baseline.cluster_edp,
+                 run.makespan_s / baseline.makespan_s
+                 if baseline.makespan_s > 0 else float("nan"),
+                 run.total_dynamic_energy_j
+                 / baseline.total_dynamic_energy_j
+                 if baseline.total_dynamic_energy_j > 0 else float("nan")]
+                for name, run in runs.items()]
+        exp.sections.append(format_table(
+            ["policy", "EDP vs fifo", "makespan vs fifo", "energy vs fifo"],
+            rows, title="normalized to FIFO"))
+        hetero = runs.get("hetero")
+        if hetero is not None:
+            little = int(hetero.summary()["little_pool_jobs"])
+            exp.sections.append(
+                f"study: the heterogeneity-aware policy places {little} of "
+                f"{len(stream)} jobs on the little-core pool and reaches "
+                f"{hetero.cluster_edp / baseline.cluster_edp:.2f}x FIFO's "
+                f"cluster EDP (energy "
+                f"{hetero.total_dynamic_energy_j / baseline.total_dynamic_energy_j:.2f}x, "
+                f"makespan {hetero.makespan_s / baseline.makespan_s:.2f}x); "
+                f"the type-blind queue disciplines only reshuffle waiting. "
+                f"Full study: docs/SCHEDULING.md")
+    return exp
+
+
 #: Experiment id -> driver, for the CLI and the bench harness.
 ALL_EXPERIMENTS: Dict[str, Callable[..., Experiment]] = {
     "F1": fig1_ipc, "F2": fig2_edxp_suites, "F3": fig3_exectime_micro,
@@ -698,4 +795,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., Experiment]] = {
     "F15": fig15_accel_freq, "F16": fig16_accel_block, "T3": table3_cost,
     "F17": fig17_spider, "S1": scheduling_case_study,
     "X1": phase_scheduling_study, "X2": tuning_study, "FT": fault_sweep,
+    "DC": datacenter_study,
 }

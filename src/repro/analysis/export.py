@@ -17,7 +17,7 @@ from ..mapreduce.driver import JobResult
 from .experiments import Experiment
 
 __all__ = ["experiment_to_csv", "write_experiment_csv", "grid_rows",
-           "series_rows"]
+           "series_rows", "records_rows"]
 
 
 def grid_rows(grid: Dict) -> List[List]:
@@ -75,6 +75,25 @@ def series_rows(series: Dict) -> List[List]:
     return rows
 
 
+def records_rows(records: Sequence[Dict]) -> List[List]:
+    """Flatten a list of record dicts into a header row plus data rows.
+
+    The first record fixes the column order; later records may omit keys
+    (empty cell) but extra keys are an error — that would silently drop
+    data.
+    """
+    header = list(records[0])
+    known = set(header)
+    rows: List[List] = [header]
+    for index, record in enumerate(records):
+        extra = set(record) - known
+        if extra:
+            raise ValueError(f"record {index} has columns not in the "
+                             f"header: {sorted(extra)}")
+        rows.append([record.get(column, "") for column in header])
+    return rows
+
+
 def experiment_to_csv(experiment: Experiment) -> Dict[str, str]:
     """Render every exportable payload of *experiment* as CSV text.
 
@@ -86,7 +105,10 @@ def experiment_to_csv(experiment: Experiment) -> Dict[str, str]:
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         try:
-            if (isinstance(payload, dict) and payload
+            if (isinstance(payload, list) and payload
+                    and all(isinstance(row, dict) for row in payload)):
+                writer.writerows(records_rows(payload))
+            elif (isinstance(payload, dict) and payload
                     and isinstance(next(iter(payload.values())), JobResult)):
                 width = len(next(iter(payload)))if isinstance(
                     next(iter(payload)), tuple) else 1

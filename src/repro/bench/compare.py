@@ -6,6 +6,13 @@ flags any whose **median** grew by more than the threshold.  The median
 designed to stabilize, and a median regression means the typical rep got
 slower, not that one rep hiccuped.
 
+A percentage alone cannot gate sub-millisecond scenarios — one timer
+tick on a 0.3 ms median reads as +30%.  So a row only counts as a
+regression (or an improvement) when the median also moved by more than
+``min_abs_delta_s`` in absolute terms (default 1 ms); below that floor
+the row is ``ok`` regardless of the percentage.  Pass ``0`` to gate on
+percentage alone.
+
 Statuses per row:
 
 - ``ok``          — within the threshold either way,
@@ -31,10 +38,11 @@ from typing import Dict, List, Optional
 
 from .runner import BENCH_SCHEMA, BENCH_SCHEMA_VERSION
 
-__all__ = ["ComparisonRow", "load_report", "compare_reports",
-           "render_comparison"]
+__all__ = ["ComparisonRow", "DEFAULT_MIN_ABS_DELTA_S", "load_report",
+           "compare_reports", "render_comparison"]
 
 DEFAULT_THRESHOLD_PCT = 10.0
+DEFAULT_MIN_ABS_DELTA_S = 0.001
 
 
 @dataclass(frozen=True)
@@ -76,11 +84,15 @@ def load_report(path: Path) -> Dict[str, object]:
 
 
 def compare_reports(old: Dict[str, object], new: Dict[str, object],
-                    threshold_pct: float = DEFAULT_THRESHOLD_PCT
+                    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+                    min_abs_delta_s: float = DEFAULT_MIN_ABS_DELTA_S
                     ) -> List[ComparisonRow]:
     """Pair scenarios by name and classify each against the threshold."""
     if threshold_pct < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold_pct}")
+    if min_abs_delta_s < 0:
+        raise ValueError(
+            f"min_abs_delta_s must be >= 0, got {min_abs_delta_s}")
     old_sc: Dict[str, dict] = old["scenarios"]   # type: ignore[assignment]
     new_sc: Dict[str, dict] = new["scenarios"]   # type: ignore[assignment]
     rows: List[ComparisonRow] = []
@@ -93,7 +105,9 @@ def compare_reports(old: Dict[str, object], new: Dict[str, object],
             rows.append(ComparisonRow(name, o_med, n_med, None, "missing"))
             continue
         delta = ((n_med - o_med) / o_med * 100.0) if o_med else 0.0
-        if delta > threshold_pct:
+        if abs(n_med - o_med) <= min_abs_delta_s:
+            status = "ok"
+        elif delta > threshold_pct:
             status = "regression"
         elif delta < -threshold_pct:
             status = "improved"

@@ -8,6 +8,8 @@ Examples::
     repro-hadoop run all --no-cache        # force a cold, serial-fidelity run
     repro-hadoop job --machine atom --workload wordcount --freq 1.6
     repro-hadoop faults --seed 7 --rates 0 5 10 --export out/faults
+    repro-hadoop datacenter --nodes 200 --num-jobs 60 --seed 3 \
+        --policy fifo hetero --export out/dc
     repro-hadoop trace terasort --machine atom --data-gb 10 --check
     repro-hadoop validate
     repro-hadoop cache stats
@@ -32,6 +34,7 @@ from typing import List, Optional
 
 from .analysis.experiments import ALL_EXPERIMENTS, warm_grid
 from .analysis.executor import ResultCache, resolve_jobs
+from .cluster.scheduler import POLICY_NAMES
 from .core.characterization import Characterizer
 from .core.metrics import edp
 from .mapreduce.driver import simulate_job
@@ -84,6 +87,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable LATE speculative execution")
     faults.add_argument("--export", default=None, metavar="DIR",
                         help="write the FT_*.csv payloads to DIR")
+
+    dc = sub.add_parser(
+        "datacenter", parents=[perf],
+        help="multi-job datacenter simulation with a cluster-level "
+             "scheduler (experiment DC)")
+    dc.add_argument("--nodes", type=int, default=200,
+                    help="total nodes across the mixed racks (default 200)")
+    dc.add_argument("--little-frac", type=float, default=0.5,
+                    help="fraction of nodes in the little-core (atom) pool "
+                         "(default 0.5)")
+    dc.add_argument("--rack-size", type=int, default=16,
+                    help="nodes per rack (default 16)")
+    dc.add_argument("--policy", nargs="+", default=None, metavar="P",
+                    choices=list(POLICY_NAMES),
+                    help="scheduling policies to compare "
+                         f"(default: all of {' '.join(POLICY_NAMES)})")
+    dc.add_argument("--seed", type=int, default=0,
+                    help="arrival-stream seed (same seed = bit-identical "
+                         "results, any --jobs)")
+    dc.add_argument("--num-jobs", type=int, default=60, metavar="N",
+                    help="jobs in the synthetic arrival stream (default 60; "
+                         "ignored with --trace)")
+    dc.add_argument("--rate", type=float, default=120.0, metavar="R",
+                    help="mean arrivals per 1000 simulated seconds "
+                         "(default 120; ignored with --trace)")
+    dc.add_argument("--goal", choices=["EDP", "ED2P", "EDAP", "ED2AP"],
+                    default="EDP",
+                    help="cost goal for the hetero policy's hybrid "
+                         "tie-break (default EDP)")
+    dc.add_argument("--patience", type=float, default=180.0, metavar="S",
+                    help="seconds a job waits for the hetero policy's "
+                         "preferred pool before taking the other "
+                         "(default 180)")
+    dc.add_argument("--freq", type=float, default=1.8,
+                    help="core frequency in GHz for every node (1.2-1.8)")
+    dc.add_argument("--trace", default=None, metavar="FILE",
+                    help="replay a job-arrival trace CSV instead of the "
+                         "synthetic stream (see docs/SCHEDULING.md)")
+    dc.add_argument("--export", default=None, metavar="DIR",
+                    help="write the DC_*.csv payloads to DIR")
 
     sub.add_parser("validate", parents=[perf],
                    help="evaluate every paper claim against the model")
@@ -205,6 +248,11 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="PCT",
                                help="median-regression tolerance in percent "
                                     "(default 10)")
+    bench_compare.add_argument("--min-delta-ms", type=float, default=1.0,
+                               metavar="MS",
+                               help="noise floor: ignore median moves "
+                                    "smaller than this many milliseconds, "
+                                    "whatever the percentage (default 1)")
     return parser
 
 
@@ -310,6 +358,43 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_datacenter(args: argparse.Namespace) -> int:
+    from .analysis.executor import CellError
+    from .analysis.experiments import datacenter_study
+    from .analysis.export import write_experiment_csv
+    from .cluster.arrivals import parse_trace
+    from .sim.engine import SimulationError
+
+    stream = None
+    if args.trace:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+            return 2
+    characterizer = _make_characterizer(args)
+    try:
+        if args.trace:
+            stream = parse_trace(text)
+        experiment = datacenter_study(
+            characterizer, seed=args.seed, n_nodes=args.nodes,
+            little_frac=args.little_frac, rack_size=args.rack_size,
+            policies=tuple(args.policy) if args.policy else POLICY_NAMES,
+            n_jobs=args.num_jobs, jobs_per_1000s=args.rate,
+            goal=args.goal, patience_s=args.patience, freq_ghz=args.freq,
+            stream=stream)
+    except (KeyError, ValueError, CellError, SimulationError) as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    print(experiment.render())
+    if args.export:
+        for path in write_experiment_csv(experiment, args.export):
+            print(f"wrote {path}")
+    _print_cache_summary(characterizer)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import Tracer, check_job, write_trace_files
     from .sim.faults import FaultPlan, NodeFault
@@ -377,7 +462,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"repro-hadoop: error: {exc}", file=sys.stderr)
             return 2
-        rows = compare_reports(old, new, threshold_pct=args.threshold)
+        rows = compare_reports(old, new, threshold_pct=args.threshold,
+                               min_abs_delta_s=args.min_delta_ms / 1000.0)
         print(render_comparison(rows, threshold_pct=args.threshold))
         return 1 if any(row.fails for row in rows) else 0
     try:
@@ -429,6 +515,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "datacenter":
+        return _cmd_datacenter(args)
     if args.command == "job":
         return _cmd_job(args)
     if args.command == "trace":

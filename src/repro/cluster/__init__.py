@@ -1,5 +1,51 @@
-"""Cluster substrate: server nodes composed from machine presets."""
+"""Cluster layer: server nodes, and the datacenter scheduling substrate.
+
+:mod:`~repro.cluster.server` models the nodes *inside* one job's
+simulation; :mod:`~repro.cluster.arrivals`,
+:mod:`~repro.cluster.scheduler` and :mod:`~repro.cluster.datacenter`
+model the layer *above* jobs — arrival streams, slot leasing and
+cluster-level scheduling policies (see ``docs/SCHEDULING.md``).
+
+The scheduler-layer names are re-exported lazily (PEP 562): the per-job
+driver imports ``cluster.server`` during its own module initialization,
+and an eager re-export here would close an import cycle back through
+``mapreduce.driver``.
+"""
 
 from .server import Cluster, ServerNode
 
-__all__ = ["Cluster", "ServerNode"]
+__all__ = [
+    "Cluster", "ServerNode",
+    # lazy re-exports (resolved on first attribute access):
+    "ArrivalConfig", "JobRequest", "poisson_stream", "parse_trace",
+    "NodeDaemon", "SlotLease", "SchedulerPolicy", "FifoScheduler",
+    "FairScheduler", "CapacityScheduler", "HeteroScheduler", "make_policy",
+    "POLICY_NAMES",
+    "RackSpec", "DatacenterSpec", "JobOutcome", "DatacenterRun",
+    "run_datacenter", "run_policies", "default_job_model",
+]
+
+_LAZY = {
+    "ArrivalConfig": "arrivals", "JobRequest": "arrivals",
+    "poisson_stream": "arrivals", "parse_trace": "arrivals",
+    "NodeDaemon": "scheduler", "SlotLease": "scheduler",
+    "SchedulerPolicy": "scheduler", "FifoScheduler": "scheduler",
+    "FairScheduler": "scheduler", "CapacityScheduler": "scheduler",
+    "HeteroScheduler": "scheduler", "make_policy": "scheduler",
+    "POLICY_NAMES": "scheduler",
+    "RackSpec": "datacenter", "DatacenterSpec": "datacenter",
+    "JobOutcome": "datacenter", "DatacenterRun": "datacenter",
+    "run_datacenter": "datacenter", "run_policies": "datacenter",
+    "default_job_model": "datacenter",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

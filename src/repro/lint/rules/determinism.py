@@ -141,7 +141,7 @@ class WallClockRule(Rule):
                    "the host clock; wall-clock profiling lives in "
                    "obs/prof.py behind the ACTIVE handle")
     include = ("src/repro/sim", "src/repro/mapreduce", "src/repro/hdfs",
-               "src/repro/arch")
+               "src/repro/arch", "src/repro/cluster")
     exclude = ("src/repro/obs/prof.py",)
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:

@@ -54,7 +54,7 @@ class ImpureModelCodeRule(Rule):
     description = ("sim/ and arch/ are pure models over simulated time; "
                    "filesystem, network and console I/O belongs to the "
                    "analysis/export layer and the CLI")
-    include = ("src/repro/sim", "src/repro/arch")
+    include = ("src/repro/sim", "src/repro/arch", "src/repro/cluster")
 
     def _impure_call(self, node: ast.Call) -> Optional[str]:
         name = dotted_name(node.func)

@@ -496,12 +496,21 @@ class HadoopJobRunner:
                  map_slots_per_node: Optional[int] = None,
                  reduce_slots_per_node: Optional[int] = None,
                  map_machines: Optional[Sequence[str]] = None,
-                 reduce_machines: Optional[Sequence[str]] = None):
+                 reduce_machines: Optional[Sequence[str]] = None,
+                 slot_plan: Optional[Dict[str, int]] = None):
         """*map_machines* / *reduce_machines* restrict which machine
         types (spec names, e.g. ``{"atom"}``) may host tasks of each
         phase — the phase-aware heterogeneous scheduling the paper's
         map/reduce characterization motivates (§3.2.2/§3.3).  ``None``
-        allows every node."""
+        allows every node.
+
+        *slot_plan* is a per-node slot lease (node name → slots a
+        cluster-level scheduler granted this job; see
+        :meth:`repro.cluster.scheduler.SlotLease.slot_plan`).  It caps
+        both phases' worker count on each node below the global
+        ``map_slots_per_node``/``reduce_slots_per_node`` defaults; a
+        plan leasing every node all its cores is byte-identical to no
+        plan at all, so exclusive whole-node leases cost nothing."""
         if data_per_node_bytes <= 0:
             raise ValueError("data size must be positive")
         self.cluster = cluster
@@ -529,6 +538,18 @@ class HadoopJobRunner:
         self.stage_timings: List[StageTiming] = []
         self._map_slots = map_slots_per_node
         self._reduce_slots = reduce_slots_per_node
+        self._slot_plan = dict(slot_plan) if slot_plan else None
+        if self._slot_plan is not None:
+            names = {n.name for n in cluster.nodes}
+            for node_name, slots in self._slot_plan.items():
+                if node_name not in names:
+                    raise ValueError(
+                        f"slot plan names unknown node {node_name!r}; "
+                        f"cluster has {sorted(names)}")
+                if slots < 1:
+                    raise ValueError(
+                        f"slot plan leases {slots} slots on {node_name}; "
+                        f"a leased node needs at least one")
         self.plan: FaultPlan = (conf.fault_plan if conf.fault_plan is not None
                                 else _NO_FAULTS)
         self._active_phase: Optional[_PhaseRunner] = None
@@ -630,6 +651,11 @@ class HadoopJobRunner:
         for node in nodes:
             slots = min(slots_override or conf_slots or node.n_cores,
                         node.n_cores)
+            if self._slot_plan is not None:
+                # A leased node runs at most its leased slot count; the
+                # global per-phase setting stays an upper bound.
+                leased = self._slot_plan.get(node.name, node.n_cores)
+                slots = min(slots, leased)
             phase.slots[node.name] = slots
             for slot in range(slots):
                 holder: List[Process] = []
@@ -948,7 +974,8 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
                  map_slots_per_node: Optional[int] = None,
                  reduce_slots_per_node: Optional[int] = None,
                  fault_plan: Optional[FaultPlan] = None,
-                 obs: Optional[object] = None) -> JobResult:
+                 obs: Optional[object] = None,
+                 slot_plan: Optional[Dict[str, int]] = None) -> JobResult:
     """Run one Hadoop application on a fresh homogeneous cluster.
 
     This is the reproduction's workhorse: every figure and table runs
@@ -972,6 +999,8 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
             time) and, on completion, carries the run's
             :class:`~repro.obs.JobTrace`.  ``None`` (the default)
             records nothing and changes nothing.
+        slot_plan: per-node slot lease (node name → leased slots) from
+            a cluster-level scheduler; see :class:`HadoopJobRunner`.
     """
     mspec = machine(machine_spec) if isinstance(machine_spec, str) else machine_spec
     wspec = workload(workload_spec) if isinstance(workload_spec, str) else workload_spec
@@ -987,5 +1016,6 @@ def simulate_job(machine_spec: Union[str, MachineSpec],
     runner = HadoopJobRunner(cluster, wspec, conf,
                              data_per_node_gb * GB,
                              map_slots_per_node=map_slots_per_node,
-                             reduce_slots_per_node=reduce_slots_per_node)
+                             reduce_slots_per_node=reduce_slots_per_node,
+                             slot_plan=slot_plan)
     return runner.run()

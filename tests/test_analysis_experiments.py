@@ -12,7 +12,7 @@ from repro.analysis.experiments import (ALL_EXPERIMENTS, fig1_ipc,
 class TestRegistry:
     def test_every_paper_artifact_has_a_driver(self):
         paper = {f"F{i}" for i in range(1, 18)} | {"T3", "S1"}
-        extensions = {"X1", "X2", "FT"}
+        extensions = {"X1", "X2", "FT", "DC"}
         assert set(ALL_EXPERIMENTS) == paper | extensions
 
     def test_drivers_documented(self):

@@ -124,6 +124,28 @@ class TestCompare:
         with pytest.raises(ValueError):
             compare_reports(_fake_report(a=1.0), _fake_report(a=1.0),
                             threshold_pct=-1.0)
+        with pytest.raises(ValueError):
+            compare_reports(_fake_report(a=1.0), _fake_report(a=1.0),
+                            min_abs_delta_s=-0.001)
+
+    def test_sub_floor_jitter_is_ok_whatever_the_percentage(self):
+        # One timer tick on a 0.3 ms scenario reads as +33%; the 1 ms
+        # noise floor keeps it from failing the gate.
+        rows = compare_reports(_fake_report(tiny=0.0003),
+                               _fake_report(tiny=0.0004),
+                               threshold_pct=25.0)
+        assert rows[0].status == "ok" and not rows[0].fails
+        # ... and the same move does not count as an "improvement" either.
+        rows = compare_reports(_fake_report(tiny=0.0004),
+                               _fake_report(tiny=0.0003),
+                               threshold_pct=25.0)
+        assert rows[0].status == "ok"
+
+    def test_zero_floor_gates_on_percentage_alone(self):
+        rows = compare_reports(_fake_report(tiny=0.0003),
+                               _fake_report(tiny=0.0004),
+                               threshold_pct=25.0, min_abs_delta_s=0.0)
+        assert rows[0].status == "regression" and rows[0].fails
 
 
 class TestCli:

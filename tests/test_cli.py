@@ -186,3 +186,54 @@ class TestReport:
         assert main(["report", "-o", str(target)]) == 0
         assert target.exists()
         assert "F1" in target.read_text()
+
+
+class TestDatacenterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["datacenter"])
+        assert args.nodes == 200 and args.rack_size == 16
+        assert args.policy is None and args.goal == "EDP"
+        assert args.num_jobs == 60 and args.seed == 0
+        assert args.trace is None and args.export is None
+
+    def test_parser_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["datacenter", "--policy", "random"])
+
+    def test_small_run_exports_csv(self, tmp_path, capsys):
+        out = tmp_path / "dc"
+        code = main(["datacenter", "--nodes", "16", "--rack-size", "8",
+                     "--num-jobs", "3", "--rate", "300", "--seed", "3",
+                     "--policy", "fifo", "--no-cache",
+                     "--export", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "cluster_edp" in text
+        assert (out / "DC_summary.csv").exists()
+        assert (out / "DC_jobs.csv").exists()
+
+    def test_trace_replay_round_trip(self, tmp_path, capsys):
+        from repro.cluster.arrivals import ArrivalConfig, poisson_stream, \
+            trace_csv
+        stream = poisson_stream(ArrivalConfig(
+            seed=3, n_jobs=3, jobs_per_1000s=300.0, node_choices=(2,),
+            size_choices_gb=(0.25,)))
+        trace = tmp_path / "trace.csv"
+        trace.write_text(trace_csv(stream))
+        code = main(["datacenter", "--nodes", "8", "--rack-size", "4",
+                     "--policy", "fifo", "--no-cache",
+                     "--trace", str(trace)])
+        assert code == 0
+        assert "3 jobs" in capsys.readouterr().out
+
+    def test_missing_trace_file_is_clean_error(self, capsys):
+        code = main(["datacenter", "--trace", "/nonexistent/trace.csv"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_trace_content_is_clean_error(self, tmp_path, capsys):
+        trace = tmp_path / "bad.csv"
+        trace.write_text("not,a,trace\n")
+        code = main(["datacenter", "--trace", str(trace), "--no-cache"])
+        assert code == 2
+        assert "header" in capsys.readouterr().err

@@ -10,7 +10,8 @@ import pytest
 from repro.analysis.experiments import (fig5_edp_real, fig9_edp_ratio_block,
                                         fig14_accel_sweep)
 from repro.analysis.export import (experiment_to_csv, grid_rows,
-                                   series_rows, write_experiment_csv)
+                                   records_rows, series_rows,
+                                   write_experiment_csv)
 from repro.core.characterization import RunKey
 
 
@@ -65,3 +66,28 @@ class TestExperimentExport:
             assert path.exists()
             assert path.name.startswith("F5_")
             assert len(path.read_text().splitlines()) > 1
+
+
+class TestRecordsRows:
+    def test_header_from_first_record(self):
+        rows = records_rows([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert rows == [["a", "b"], [1, 2], [3, 4]]
+
+    def test_missing_keys_become_empty_cells(self):
+        rows = records_rows([{"a": 1, "b": 2}, {"a": 3}])
+        assert rows[2] == [3, ""]
+
+    def test_extra_keys_rejected(self):
+        with pytest.raises(ValueError, match="record 1"):
+            records_rows([{"a": 1}, {"a": 2, "sneaky": 3}])
+
+    def test_experiment_records_payload_exports(self):
+        from repro.analysis.experiments import Experiment
+        exp = Experiment("T0", "records payload")
+        exp.data["summary"] = [{"policy": "fifo", "edp": 1.5},
+                               {"policy": "hetero", "edp": 0.9}]
+        payloads = experiment_to_csv(exp)
+        parsed = list(csv.reader(io.StringIO(payloads["summary"])))
+        assert parsed[0] == ["policy", "edp"]
+        assert parsed[1] == ["fifo", "1.5"]
+        assert len(parsed) == 3

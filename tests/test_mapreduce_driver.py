@@ -205,3 +205,45 @@ class TestConfiguration:
         r = simulate_job("xeon", "sort", conf=conf, data_per_node_gb=0.5)
         base = simulate_job("xeon", "sort", data_per_node_gb=0.5)
         assert r.execution_time_s < base.execution_time_s  # less replication
+
+
+class TestSlotPlan:
+    """Per-node slot leases from the datacenter scheduling layer."""
+
+    def test_full_core_plan_is_identical_to_no_plan(self):
+        base = simulate_job("atom", "wordcount", n_nodes=2,
+                            data_per_node_gb=0.25)
+        plan = {f"atom{i}": 8 for i in range(2)}
+        leased = simulate_job("atom", "wordcount", n_nodes=2,
+                              data_per_node_gb=0.25, slot_plan=plan)
+        assert leased.execution_time_s == base.execution_time_s
+        assert leased.dynamic_energy_j == base.dynamic_energy_j
+
+    def test_partial_plan_slows_the_job(self):
+        base = simulate_job("atom", "wordcount", n_nodes=2,
+                            data_per_node_gb=0.5)
+        plan = {f"atom{i}": 2 for i in range(2)}
+        leased = simulate_job("atom", "wordcount", n_nodes=2,
+                              data_per_node_gb=0.5, slot_plan=plan)
+        assert leased.execution_time_s > base.execution_time_s
+
+    def test_plan_never_raises_the_slot_cap(self):
+        narrow = simulate_job("atom", "wordcount", n_nodes=2,
+                              data_per_node_gb=0.5, map_slots_per_node=2)
+        plan = {f"atom{i}": 8 for i in range(2)}
+        widened = simulate_job("atom", "wordcount", n_nodes=2,
+                               data_per_node_gb=0.5, map_slots_per_node=2,
+                               slot_plan=plan)
+        assert widened.execution_time_s == narrow.execution_time_s
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            simulate_job("atom", "wordcount", n_nodes=2,
+                         data_per_node_gb=0.25,
+                         slot_plan={"nosuch": 4})
+
+    def test_non_positive_slots_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_job("atom", "wordcount", n_nodes=2,
+                         data_per_node_gb=0.25,
+                         slot_plan={"atom0": 0})

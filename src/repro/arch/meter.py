@@ -51,12 +51,13 @@ class WattsUpMeter:
         waveform is valid until the trace span's end.
         """
         edges: List[Tuple[float, float]] = []  # (time, delta_watts)
-        for interval in trace:
-            if interval.duration <= 0:
+        for start, end, node, device, _kind, activity, _task, _phase \
+                in trace.rows:
+            if end - start <= 0:
                 continue
-            uplift = self.node_power[interval.node].interval_uplift(interval)
-            edges.append((interval.start, +uplift))
-            edges.append((interval.end, -uplift))
+            uplift = self.node_power[node].device_uplift(device, activity)
+            edges.append((start, +uplift))
+            edges.append((end, -uplift))
         edges.sort(key=lambda e: e[0])
         waveform: List[Tuple[float, float]] = []
         level = self.idle_watts
@@ -108,7 +109,8 @@ class WattsUpMeter:
         sampling interval.
         """
         total = 0.0
-        for interval in trace:
-            uplift = self.node_power[interval.node].interval_uplift(interval)
-            total += uplift * interval.duration
+        for start, end, node, device, _kind, activity, _task, _phase \
+                in trace.rows:
+            uplift = self.node_power[node].device_uplift(device, activity)
+            total += uplift * (end - start)
         return total

@@ -87,19 +87,23 @@ class NodePower:
             0.0, self.op.voltage - self.spec.idle_voltage)
         return dyn + static
 
+    def device_uplift(self, device: str, activity: float) -> float:
+        """Watts a device class adds over the idle floor at *activity*."""
+        if device == "core":
+            return self.core_uplift(activity)
+        if device == "fw":
+            return self.core_uplift(min(1.0, self.spec.fw_activity))
+        if device == "disk":
+            return self.spec.disk_active_uplift
+        if device == "nic":
+            return self.spec.nic_active_uplift
+        if device == "uncore":
+            return self.spec.job_active_uplift
+        raise ValueError(f"unknown device class: {device!r}")
+
     def interval_uplift(self, interval: Interval) -> float:
         """Watts the given activity interval adds over the idle floor."""
-        if interval.device == "core":
-            return self.core_uplift(interval.activity)
-        if interval.device == "fw":
-            return self.core_uplift(min(1.0, self.spec.fw_activity))
-        if interval.device == "disk":
-            return self.spec.disk_active_uplift
-        if interval.device == "nic":
-            return self.spec.nic_active_uplift
-        if interval.device == "uncore":
-            return self.spec.job_active_uplift
-        raise ValueError(f"unknown device class: {interval.device!r}")
+        return self.device_uplift(interval.device, interval.activity)
 
 
 @dataclass
@@ -145,12 +149,23 @@ def integrate_energy(trace: TraceRecorder,
     start, end = trace.span()
     out.makespan = makespan if makespan is not None else end - start
     out.idle_watts = sum(np.idle_watts for np in node_power.values())
-    for interval in trace:
-        power = node_power[interval.node]
-        joules = power.interval_uplift(interval) * interval.duration
-        out.dynamic_joules += joules
-        out.by_phase[interval.phase] = out.by_phase.get(interval.phase, 0.0) + joules
-        out.by_device[interval.device] = (
-            out.by_device.get(interval.device, 0.0) + joules)
-        out.by_node[interval.node] = out.by_node.get(interval.node, 0.0) + joules
+    by_phase, by_device, by_node = out.by_phase, out.by_device, out.by_node
+    # Traces repeat a handful of (node, device, activity) combinations
+    # thousands of times; memoizing the uplift keeps the fold at one
+    # multiply-add per row instead of re-deriving V²f power each time.
+    uplifts = {}
+    dynamic = 0.0
+    for row in trace.rows:
+        tstart, tend, node, device, _kind, activity, _task, phase = row
+        key = (node, device, activity)
+        uplift = uplifts.get(key)
+        if uplift is None:
+            uplift = uplifts[key] = node_power[node].device_uplift(
+                device, activity)
+        joules = uplift * (tend - tstart)
+        dynamic += joules
+        by_phase[phase] = by_phase.get(phase, 0.0) + joules
+        by_device[device] = by_device.get(device, 0.0) + joules
+        by_node[node] = by_node.get(node, 0.0) + joules
+    out.dynamic_joules = dynamic
     return out

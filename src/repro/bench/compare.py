@@ -24,9 +24,19 @@ Statuses per row:
   vanished from *new*: silently dropping a scenario must not make the
   gate pass).
 
+Scenario-specific thresholds: a single global threshold has to be
+generous enough for the noisiest macro scenario, which leaves the
+cheapest, most-stable micro scenarios (and hard-won speedups like the
+engine campaign) free to erode by almost the whole allowance.
+``scenario_thresholds={"engine.throughput": 15.0}`` overrides the global
+threshold for the named scenarios only; on the CLI it is spelled
+``--scenario-threshold engine.throughput=15`` (repeatable).
+
 Cross-host caveat: medians only compare meaningfully between runs on
 similar hardware.  CI compares CI-to-CI against a committed baseline and
-uses a generous threshold (25%) to absorb shared-runner noise.
+uses a generous threshold (25%) to absorb shared-runner noise — with a
+tighter per-scenario override on ``engine.throughput`` so the campaign's
+3× cannot silently decay a quarter at a time.
 """
 
 from __future__ import annotations
@@ -34,7 +44,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from .runner import BENCH_SCHEMA, BENCH_SCHEMA_VERSION
 
@@ -85,14 +95,25 @@ def load_report(path: Path) -> Dict[str, object]:
 
 def compare_reports(old: Dict[str, object], new: Dict[str, object],
                     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
-                    min_abs_delta_s: float = DEFAULT_MIN_ABS_DELTA_S
+                    min_abs_delta_s: float = DEFAULT_MIN_ABS_DELTA_S,
+                    scenario_thresholds: Optional[Mapping[str, float]] = None
                     ) -> List[ComparisonRow]:
-    """Pair scenarios by name and classify each against the threshold."""
+    """Pair scenarios by name and classify each against its threshold.
+
+    ``scenario_thresholds`` maps scenario names to per-scenario
+    percentage thresholds that override ``threshold_pct``; scenarios
+    not in the mapping use the global value.
+    """
     if threshold_pct < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold_pct}")
     if min_abs_delta_s < 0:
         raise ValueError(
             f"min_abs_delta_s must be >= 0, got {min_abs_delta_s}")
+    overrides = dict(scenario_thresholds or {})
+    for scenario, pct in overrides.items():
+        if pct < 0:
+            raise ValueError(
+                f"threshold for {scenario!r} must be >= 0, got {pct}")
     old_sc: Dict[str, dict] = old["scenarios"]   # type: ignore[assignment]
     new_sc: Dict[str, dict] = new["scenarios"]   # type: ignore[assignment]
     rows: List[ComparisonRow] = []
@@ -104,12 +125,13 @@ def compare_reports(old: Dict[str, object], new: Dict[str, object],
         if o_med is None or n_med is None:
             rows.append(ComparisonRow(name, o_med, n_med, None, "missing"))
             continue
+        threshold = overrides.get(name, threshold_pct)
         delta = ((n_med - o_med) / o_med * 100.0) if o_med else 0.0
         if abs(n_med - o_med) <= min_abs_delta_s:
             status = "ok"
-        elif delta > threshold_pct:
+        elif delta > threshold:
             status = "regression"
-        elif delta < -threshold_pct:
+        elif delta < -threshold:
             status = "improved"
         else:
             status = "ok"

@@ -205,8 +205,9 @@ def profiler_overhead(ctx: ScenarioContext) -> Dict[str, float]:
     *interleaved*, so load or frequency drift on a busy host lands on
     both sides equally and the reported overhead is instrumentation
     cost, not scheduler jitter.  The bench gate asserts this stays
-    small (< 5%); the profiler's whole design (coarse phases, batched
-    engine timing) exists to keep it there.
+    small (< 10% of the post-campaign engine — the same absolute cost
+    as 5% of the pre-campaign one); the profiler's whole design
+    (coarse phases, batched engine timing) exists to keep it there.
     """
     def once(profiled: bool) -> float:
         t0 = time.perf_counter()

@@ -253,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
                                help="noise floor: ignore median moves "
                                     "smaller than this many milliseconds, "
                                     "whatever the percentage (default 1)")
+    bench_compare.add_argument("--scenario-threshold", action="append",
+                               default=None, metavar="NAME=PCT",
+                               help="per-scenario override of --threshold "
+                                    "(e.g. engine.throughput=10); "
+                                    "repeatable")
     return parser
 
 
@@ -441,6 +446,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scenario_thresholds(specs):
+    """``["name=PCT", ...]`` → ``{name: pct}`` for ``bench compare``."""
+    overrides = {}
+    for spec in specs or []:
+        name, sep, pct = spec.partition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"bad --scenario-threshold {spec!r} (expected NAME=PCT)")
+        try:
+            overrides[name] = float(pct)
+        except ValueError:
+            raise ValueError(
+                f"bad --scenario-threshold {spec!r} "
+                f"(threshold {pct!r} is not a number)") from None
+    return overrides
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -459,11 +481,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         try:
             old = load_report(Path(args.old))
             new = load_report(Path(args.new))
+            overrides = _parse_scenario_thresholds(args.scenario_threshold)
+            rows = compare_reports(old, new, threshold_pct=args.threshold,
+                                   min_abs_delta_s=args.min_delta_ms / 1000.0,
+                                   scenario_thresholds=overrides)
         except (OSError, ValueError) as exc:
             print(f"repro-hadoop: error: {exc}", file=sys.stderr)
             return 2
-        rows = compare_reports(old, new, threshold_pct=args.threshold,
-                               min_abs_delta_s=args.min_delta_ms / 1000.0)
         print(render_comparison(rows, threshold_pct=args.threshold))
         return 1 if any(row.fails for row in rows) else 0
     try:

@@ -187,6 +187,10 @@ class _PhaseRunner:
         self.slots: Dict[str, int] = {}
         self.busy: Dict[str, int] = {}
         self.outstanding = 0
+        #: Incremental count of queued task ids across all node queues —
+        #: kept in lockstep with every append/pop so backlog sampling is
+        #: O(1) instead of a sum over queues on every claim.
+        self._queued = 0
         self.done_event = runner.sim.event()
         #: Records in winning-completion order — replayed by the stage to
         #: accumulate outputs in the exact order the old inline
@@ -207,6 +211,7 @@ class _PhaseRunner:
         self.order.append(task_id)
         self.queues[queue].append(task_id)
         self.outstanding += 1
+        self._queued += 1
         self._sample_backlog()
 
     # -- idle-slot coordination -----------------------------------------
@@ -216,12 +221,14 @@ class _PhaseRunner:
 
     def wait(self):
         """(event to yield on, poll timeout to cancel afterwards)."""
-        if self._wakeup is None or self._wakeup.triggered:
-            self._wakeup = self.sim.event()
+        sim = self.sim
+        wakeup = self._wakeup
+        if wakeup is None or wakeup.triggered:
+            wakeup = self._wakeup = sim.event()
         if self.conf.speculative_execution:
-            poll = self.sim.timeout(_SPEC_POLL_S)
-            return self.sim.any_of([self._wakeup, poll]), poll
-        return self._wakeup, None
+            poll = sim.timeout(_SPEC_POLL_S)
+            return sim.any_of([wakeup, poll]), poll
+        return wakeup, None
 
     def notify(self) -> None:
         if self._wakeup is not None and not self._wakeup.triggered:
@@ -231,13 +238,13 @@ class _PhaseRunner:
     def _sample_backlog(self) -> None:
         """Re-sample the queued-task counter (tracing only).
 
-        Recomputed rather than stepped: crash handling drains whole
-        queues at once and recounting is cheap at trace time."""
+        Reads the incrementally-maintained ``_queued`` count — this is
+        called on every claim and requeue, and summing every node queue
+        each time was a measurable slice of large traced runs."""
         obs = self.sim.obs
         if obs is not None:
-            total = sum(len(q) for q in self.queues.values())
             obs.counter(f"queue.backlog.{self.kind}", "tasks").set(
-                self.sim.now, total)
+                self.sim.now, self._queued)
 
     def _count_running(self, node: ServerNode, delta: int) -> None:
         obs = self.sim.obs
@@ -284,6 +291,7 @@ class _PhaseRunner:
     def _pick(self, node: ServerNode) -> Tuple[Optional[_TaskRec], bool]:
         own = self.queues.get(node.name)
         if own:
+            self._queued -= 1
             return self.records[own.popleft()], False
         # Work stealing: an idle slot takes from the tail of the queue
         # with the largest backlog (ties broken by node name), trading
@@ -298,6 +306,7 @@ class _PhaseRunner:
             if backlog > victim_backlog:
                 victim, victim_backlog = name, backlog
         if victim is not None:
+            self._queued -= 1
             return self.records[self.queues[victim].pop()], False
         rec = self._speculation_candidate()
         if rec is not None:
@@ -443,6 +452,7 @@ class _PhaseRunner:
             return
         target = min(live, key=lambda name: len(self.queues[name]))
         self.queues[target].append(rec.task_id)
+        self._queued += 1
         self._sample_backlog()
         self.notify()
 
@@ -453,6 +463,7 @@ class _PhaseRunner:
         queued = self.queues.get(name)
         moved = list(queued) if queued else []
         if queued:
+            self._queued -= len(queued)
             queued.clear()
         for tid in moved:
             self._requeue(self.records[tid])
@@ -593,10 +604,17 @@ class HadoopJobRunner:
         ends.  Interrupts (speculation losses, node crashes) and injected
         attempt failures are absorbed here; the slot keeps serving."""
         proc = holder[0]
+        # The loop body runs once per task attempt across the whole job;
+        # hoist every per-iteration-constant lookup out of it.
+        sim = self.sim
+        timeout = sim.timeout
+        heartbeat = self.conf.heartbeat_s
+        counters = self.counters
+        claim = phase.claim
         while True:
             if not node.alive:
                 return
-            claimed = phase.claim(node, proc)
+            claimed = claim(node, proc)
             if claimed is None:
                 if phase.finished:
                     return
@@ -608,7 +626,7 @@ class HadoopJobRunner:
                         poll.cancel()
                 continue
             att, rec = claimed
-            obs = self.sim.obs
+            obs = sim.obs
             span = None
             if obs is not None:
                 span = obs.begin(
@@ -617,24 +635,22 @@ class HadoopJobRunner:
                     task=att.task.task_id, attempt=att.number,
                     speculative=att.speculative)
             try:
-                if self.conf.heartbeat_s > 0:
-                    yield self.sim.timeout(self.conf.heartbeat_s)
+                if heartbeat > 0:
+                    yield timeout(heartbeat)
                 yield from att.task.run()
             except Interrupt:
                 rec.running.pop(att.number, None)
                 phase.release_slot(node)
-                self.counters.killed_attempts += 1
-                self.counters.wasted_task_seconds += (self.sim.now
-                                                      - att.started_at)
+                counters.killed_attempts += 1
+                counters.wasted_task_seconds += sim.now - att.started_at
                 if span is not None:
                     obs.end(span, status="killed")
                 continue
             except TaskAttemptError as exc:
                 rec.running.pop(att.number, None)
                 phase.release_slot(node)
-                self.counters.failed_attempts += 1
-                self.counters.wasted_task_seconds += (self.sim.now
-                                                      - att.started_at)
+                counters.failed_attempts += 1
+                counters.wasted_task_seconds += sim.now - att.started_at
                 if span is not None:
                     obs.end(span, status="failed")
                 phase.attempt_failed(rec, exc)

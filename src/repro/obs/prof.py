@@ -30,10 +30,11 @@ Usage::
 
 Instrumented sites (all guarded, all coarse — never per-chunk):
 
-* ``sim/engine.py`` — the event loop runs a dedicated profiled twin of
-  its dispatch loop that batches ``perf_counter`` reads over
+* ``sim/engine.py`` — the unified dispatch loop checks ``prof.ACTIVE``
+  once per call and, when on, batches ``perf_counter`` reads over
   :data:`DISPATCH_BATCH` events, recording per-event dispatch latency
-  and heap-op counts at < 1% overhead.
+  and queue-op counts at < 1% overhead (there is no separate profiled
+  loop body to drift out of sync).
 * ``mapreduce/driver.py`` — per-stage setup/map/reduce/cleanup wall
   windows plus whole-job run, uncore accounting and energy folding.
 * ``hdfs/`` — input loading and per-block replica placement.

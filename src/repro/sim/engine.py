@@ -9,12 +9,38 @@ waiting on fires.
 Design goals:
 
 * **Determinism** — events scheduled for the same timestamp fire in FIFO
-  order of scheduling (a monotonically increasing sequence number breaks
-  ties), so simulations are exactly reproducible.
+  order of scheduling, so simulations are exactly reproducible.
 * **No global state** — every entity hangs off a :class:`Simulator`
   instance; multiple simulations can run side by side.
 * **Introspection** — the engine counts events and exposes the current
   simulated time, which the power model and the trace recorder build on.
+* **Throughput** — dispatch is the hot path under every experiment, so
+  the queue and the per-event footprint are built for speed (see below).
+
+Queue layout
+------------
+The ready queue is a *calendar* of buckets: a dict mapping each distinct
+timestamp to the list of events scheduled at it (in scheduling order),
+plus a heap of the distinct timestamps.  Scheduling an event is a dict
+lookup and a list append — the heap is only touched when a timestamp is
+seen for the first time.  Dispatch pops the earliest timestamp and drains
+its bucket in append order, which is exactly the FIFO-per-timestamp order
+the old ``(time, seq, event)`` tuple heap produced, without allocating a
+triple per event or paying tuple comparisons that fall through to the
+sequence number whenever timestamps collide (the common case in a
+heartbeat-driven simulation, and precisely where a tuple heap is
+slowest).
+
+Cancelled events are *lazily deleted*: they stay in their bucket and are
+skipped at dispatch.  So that long datacenter runs cannot bloat the
+calendar with retired crash watchers, :meth:`Event.cancel` triggers an
+in-place compaction sweep once cancelled entries both exceed a fixed
+threshold and outnumber live ones.
+
+``run()``, ``step()`` and profiled runs all execute the single loop body
+in :meth:`Simulator._dispatch`; the wall-clock profiler
+(:mod:`repro.obs.prof`) reads its clock once per
+:data:`~repro.obs.prof.DISPATCH_BATCH` events rather than per event.
 
 Example
 -------
@@ -25,14 +51,14 @@ Example
 ...     log.append((sim.now, name))
 >>> _ = sim.process(worker(sim, "a", 2.0))
 >>> _ = sim.process(worker(sim, "b", 1.0))
->>> sim.run()
+>>> _ = sim.run()
 >>> log
 [(1.0, 'b'), (2.0, 'a')]
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..obs import prof
@@ -48,6 +74,12 @@ __all__ = [
     "SimulationError",
 ]
 
+_INF = float("inf")
+
+#: Lazy-deleted (cancelled) events trigger a calendar compaction sweep
+#: once they number at least this many *and* outnumber live events.
+COMPACT_THRESHOLD = 256
+
 
 class SimulationError(RuntimeError):
     """Raised for violations of engine invariants (e.g. time travel)."""
@@ -59,6 +91,14 @@ class Event:
     An event starts *untriggered*; calling :meth:`succeed` (or
     :meth:`fail`) schedules it to fire immediately.  Firing invokes every
     registered callback exactly once, in registration order.
+
+    The ``callbacks`` slot is protocol-compressed to keep the per-event
+    footprint small: ``None`` means no callbacks registered yet, a bare
+    callable means exactly one, and a list means several.  The waiting
+    pattern is overwhelmingly one-callback-per-event (a process resuming
+    on a timeout), so the common case allocates nothing.  "Already
+    processed" is tracked by the ``_processed`` flag, not by the
+    callbacks slot.
     """
 
     __slots__ = ("sim", "callbacks", "_triggered", "_processed", "value",
@@ -66,7 +106,7 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Any = None
         self._triggered = False
         self._processed = False
         self.value: Any = None
@@ -109,20 +149,44 @@ class Event:
         fault machinery retires pending crash watchers once a job
         finishes, so recovery scaffolding can never inflate a makespan.
         Cancelling an already-processed event is a no-op.
+
+        Cancelled events are lazily deleted: they stay in their calendar
+        bucket until dispatch skips over them, or until enough accumulate
+        (at least :data:`COMPACT_THRESHOLD`, and more than the live count
+        seen by the previous sweep) to trigger an in-place compaction.
         """
-        if not self._processed:
+        if self._processed:
+            return
+        sim = self.sim
+        if not self._cancelled:
             self._cancelled = True
-            if self.sim.obs is not None:
-                self.sim.obs.count("engine.cancels")
+            if self._triggered:
+                # Scheduled and now dead weight in its bucket.
+                n = sim._cancelled_pending + 1
+                sim._cancelled_pending = n
+                if n >= sim._compact_at:
+                    sim._compact()
+        if sim.obs is not None:
+            sim.obs.count("engine.cancels")
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Schedule this event to fire at the current simulation time."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError(
+                "cannot succeed a cancelled event: the engine would "
+                "silently skip it and strand every waiter")
         self._triggered = True
         self.value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        when = sim.now
+        try:
+            sim._buckets[when].append(self)
+        except KeyError:
+            sim._buckets[when] = [self]
+            heappush(sim._times, when)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -132,29 +196,38 @@ class Event:
         """
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError(
+                "cannot fail a cancelled event: the engine would "
+                "silently skip it and strand every waiter")
         self._triggered = True
         self._exc = exc
-        self.sim._schedule_event(self)
+        sim = self.sim
+        when = sim.now
+        try:
+            sim._buckets[when].append(self)
+        except KeyError:
+            sim._buckets[when] = [self]
+            heappush(sim._times, when)
         return self
 
     # -- engine hooks ----------------------------------------------------
-    def _fire(self) -> None:
-        self._processed = True
-        callbacks, self.callbacks = self.callbacks, None
-        if callbacks:
-            for cb in callbacks:
-                cb(self)
-
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register *cb* to run when the event fires.
 
         If the event has already been processed the callback runs
         immediately (synchronously), preserving exactly-once semantics.
         """
-        if self.callbacks is None:
+        if self._processed:
             cb(self)
+            return
+        cbs = self.callbacks
+        if cbs is None:
+            self.callbacks = cb
+        elif cbs.__class__ is list:
+            cbs.append(cb)
         else:
-            self.callbacks.append(cb)
+            self.callbacks = [cbs, cb]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else (
@@ -163,18 +236,38 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    ``__init__`` is the single biggest allocator in any run, so it is
+    fully inlined: no ``super().__init__`` call, scheduling folded in.
+    """
 
     __slots__ = ("delay",)
+
+    # Class-level constants shadowing Event's slot descriptors: a Timeout
+    # is born triggered and cannot fail before firing (``fail`` raises on
+    # triggered events first), so reads resolve on the class and
+    # ``__init__`` skips two per-instance stores.  Writing either through
+    # an instance would now raise — nothing does.
+    _triggered = True
+    _exc = None
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = None
+        self._processed = False
         self.value = value
-        self._triggered = True
-        sim._schedule_event(self, delay=delay)
+        self._cancelled = False
+        self.delay = delay
+        when = sim.now + delay
+        buckets = sim._buckets
+        try:
+            buckets[when].append(self)
+        except KeyError:
+            buckets[when] = [self]
+            heappush(sim._times, when)
 
 
 class Process(Event):
@@ -186,19 +279,45 @@ class Process(Event):
     generator becomes the value of the process-completion event.
     """
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_waiting_on", "_resume_cb", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: Generator):
-        super().__init__(sim)
-        if not hasattr(generator, "send"):
-            raise SimulationError(
-                f"process target must be a generator, got {type(generator).__name__}")
+        self.sim = sim
+        self.callbacks = None
+        self._triggered = False
+        self._processed = False
+        self.value = None
+        self._exc = None
+        self._cancelled = False
         self.generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method each, created once: every resume re-uses them
+        # instead of allocating fresh bound methods per yield (and the
+        # send/throw lookup doubles as the is-it-a-generator check).
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
+            raise SimulationError(
+                f"process target must be a generator, "
+                f"got {type(generator).__name__}") from None
+        self._resume_cb = resume = self._resume
         # Bootstrap: resume once the engine starts / at the current time.
-        boot = Event(sim)
-        boot.add_callback(self._resume)
-        boot.succeed()
+        # (Inline Event construction + scheduling: one boot per process.)
+        boot = Event.__new__(Event)
+        boot.sim = sim
+        boot.callbacks = resume
+        boot._triggered = True
+        boot._processed = False
+        boot.value = None
+        boot._exc = None
+        boot._cancelled = False
+        when = sim.now
+        try:
+            sim._buckets[when].append(boot)
+        except KeyError:
+            sim._buckets[when] = [boot]
+            heappush(sim._times, when)
 
     @property
     def is_alive(self) -> bool:
@@ -208,18 +327,38 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if self._triggered:
             return  # process already finished (e.g. interrupted earlier)
-        if self._waiting_on is not None and event is not self._waiting_on:
+        waiting = self._waiting_on
+        if waiting is not None and event is not waiting:
             return  # stale wakeup from an event we stopped waiting on
-        self._waiting_on = None
-        if self.sim.obs is not None:
-            self.sim.obs.count("engine.process_wakes")
+        # (_waiting_on is left pointing at *event* — it fired, so the
+        # stale guard never matches it again; clearing it here would be
+        # a pure hot-path store.)
+        sim = self.sim
+        if sim.obs is not None:
+            sim.obs.count("engine.process_wakes")
         try:
-            if event._exc is not None:
-                target = self.generator.throw(event._exc)
+            exc = event._exc
+            if exc is not None:
+                target = self._throw(exc)
             else:
-                target = self.generator.send(event.value)
+                target = self._send(event.value)
         except StopIteration as stop:
-            self.succeed(getattr(stop, "value", None))
+            # Inlined ``self.succeed(stop.value)`` — the generator
+            # finished.  ``_triggered`` is invariantly False here (the
+            # guard at the top returned otherwise), so only the
+            # cancelled check survives from succeed().
+            if self._cancelled:
+                raise SimulationError(
+                    "cannot succeed a cancelled event: the engine would "
+                    "silently skip it and strand every waiter") from None
+            self._triggered = True
+            self.value = stop.value
+            when = sim.now
+            try:
+                sim._buckets[when].append(self)
+            except KeyError:
+                sim._buckets[when] = [self]
+                heappush(sim._times, when)
             return
         except BaseException as exc:
             # Propagate crash to anyone waiting on this process; if nobody
@@ -228,13 +367,30 @@ class Process(Event):
                 self.fail(exc)
                 return
             raise
-        if not isinstance(target, Event):
+        # Duck-typed yield validation: reading ``.sim`` doubles as the
+        # is-it-an-Event check, so the fast path pays one attribute load
+        # instead of an isinstance call per yield.
+        try:
+            foreign = target.sim is not sim
+        except AttributeError:
             raise SimulationError(
-                f"process yielded {type(target).__name__}, expected an Event")
-        if target.sim is not self.sim:
-            raise SimulationError("process yielded an event from another simulator")
+                f"process yielded {type(target).__name__}, "
+                f"expected an Event") from None
+        if foreign:
+            raise SimulationError(
+                "process yielded an event from another simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined Event.add_callback (the per-yield hot path).
+        if target._processed:
+            self._resume(target)
+            return
+        cbs = target.callbacks
+        if cbs is None:
+            target.callbacks = self._resume_cb
+        elif cbs.__class__ is list:
+            cbs.append(self._resume_cb)
+        else:
+            target.callbacks = [cbs, self._resume_cb]
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
@@ -250,7 +406,7 @@ class Process(Event):
                                  cat="engine", cause=str(cause))
         intr = Event(self.sim)
         self._waiting_on = intr
-        intr.add_callback(self._resume)
+        intr.callbacks = self._resume_cb
         intr.fail(Interrupt(cause))
 
 
@@ -317,23 +473,42 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, event)."""
+    """The event loop over a calendar queue of per-timestamp buckets.
+
+    ``now`` is a plain attribute (it is read on essentially every line of
+    model code, and a property costs a descriptor call per read); treat
+    it as read-only outside the engine.  Counters:
+
+    * ``event_count`` — events dispatched (flushed per bucket, exact
+      whenever :meth:`run`/:meth:`step` is not mid-dispatch),
+    * ``pending`` — *live* scheduled-but-unfired events: lazily-deleted
+      cancelled events are excluded, so backlog metrics do not
+      over-report after fault recovery.
+    """
+
+    __slots__ = ("now", "event_count", "obs", "_buckets", "_times",
+                 "_cancelled_pending", "_retired", "_compact_at", "_front")
 
     def __init__(self):
-        self._now = 0.0
-        self._queue: List = []
-        self._seq = 0
+        #: Current simulated time in seconds.
+        self.now = 0.0
+        #: time -> [events scheduled at that time, in scheduling order]
+        self._buckets = {}
+        #: Min-heap of distinct bucket times.  May hold stale entries
+        #: (bucket emptied by compaction, or a duplicate pushed while its
+        #: bucket was being drained); dispatch drops those on contact.
+        self._times: List[float] = []
+        self._cancelled_pending = 0   # cancelled events still in a bucket
+        self._retired = 0             # cancelled events removed again
+        self._compact_at = COMPACT_THRESHOLD
+        #: Partially drained front bucket left by a limit/step() exit (or
+        #: a callback exception): ``(time, [unfired events])`` or None.
+        self._front = None
         self.event_count = 0
         #: Optional :class:`repro.obs.Tracer`; every instrumentation site
         #: in the simulator guards on ``obs is not None``, so an untraced
         #: run pays one attribute load per site and records nothing.
         self.obs = None
-
-    # -- clock -----------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
 
     # -- factories -------------------------------------------------------
     def event(self) -> Event:
@@ -341,12 +516,71 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event firing ``delay`` seconds from now.
+
+        Mirrors ``Timeout.__init__`` body-for-body (via ``__new__``) to
+        shed one call frame: this is the single hottest allocation site
+        in any run, and the frame was ~15% of bare dispatch throughput.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = None
+        event._processed = False
+        event.value = value
+        event._cancelled = False
+        event.delay = delay
+        when = self.now + delay
+        buckets = self._buckets
+        try:
+            buckets[when].append(event)
+        except KeyError:
+            buckets[when] = [event]
+            heappush(self._times, when)
+        return event
 
     def process(self, generator: Generator) -> Process:
-        """Launch *generator* as a process; returns its completion event."""
-        return Process(self, generator)
+        """Launch *generator* as a process; returns its completion event.
+
+        Mirrors ``Process.__init__`` body-for-body (via ``__new__``) to
+        shed one call frame — task attempts, heartbeats and watchers all
+        funnel through here, making it the second-hottest factory after
+        :meth:`timeout`.
+        """
+        event = Process.__new__(Process)
+        event.sim = self
+        event.callbacks = None
+        event._triggered = False
+        event._processed = False
+        event.value = None
+        event._exc = None
+        event._cancelled = False
+        event.generator = generator
+        event._waiting_on = None
+        try:
+            event._send = generator.send
+            event._throw = generator.throw
+        except AttributeError:
+            raise SimulationError(
+                f"process target must be a generator, "
+                f"got {type(generator).__name__}") from None
+        event._resume_cb = resume = event._resume
+        boot = Event.__new__(Event)
+        boot.sim = self
+        boot.callbacks = resume
+        boot._triggered = True
+        boot._processed = False
+        boot.value = None
+        boot._exc = None
+        boot._cancelled = False
+        when = self.now
+        try:
+            self._buckets[when].append(boot)
+        except KeyError:
+            self._buckets[when] = [boot]
+            heappush(self._times, when)
+        return event
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all *events* have fired."""
@@ -356,111 +590,224 @@ class Simulator:
         """Event that fires when the first of *events* fires."""
         return AnyOf(self, events)
 
-    # -- scheduling ------------------------------------------------------
-    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
-        self._seq += 1
-
+    # -- the loop --------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or simulated time reaches *until*.
 
         Returns the final simulated time.  With a wall-clock profiler
-        installed (``repro.obs.prof``) the loop runs a profiled twin
-        (:meth:`_run_profiled`) that takes the exact same event path —
-        profiling can change timings of the host, never of the model.
+        installed (``repro.obs.prof``) the same loop also records batched
+        dispatch timings — profiling can change timings of the host,
+        never of the model.
         """
-        if prof.ACTIVE is not None:
-            return self._run_profiled(until, prof.ACTIVE)
-        while self._queue:
-            when, _seq, event = self._queue[0]
-            if event._cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            if when < self._now:
-                raise SimulationError(
-                    f"time travel: event at {when} < now {self._now}")
-            self._now = when
-            self.event_count += 1
-            event._fire()
-        return self._now
+        self._dispatch(_INF if until is None else until, False)
+        return self.now
 
-    def _run_profiled(self, until: Optional[float],
-                      profiler: "prof.Profiler") -> float:
-        """Dispatch loop twin with wall-clock profiling.
+    def step(self, until: Optional[float] = None) -> bool:
+        """Process a single event; returns False when none fired.
 
-        Reads ``perf_counter`` once per :data:`~repro.obs.prof.DISPATCH_BATCH`
-        events rather than per event, so per-event dispatch latency lands
-        in the histogram (as the batch mean) at well under 1% overhead.
-        Heap pushes and cancelled-event skips are tallied as meta counts.
+        Semantics match :meth:`run` exactly (same loop body): cancelled
+        events are skipped — and tallied into obs/prof counters — and an
+        *until* bound stops the clock there without firing later events.
         """
-        clock = profiler.clock
-        record = profiler.record
-        queue = self._queue
-        pop = heapq.heappop
-        t_run = clock()
-        seq0 = self._seq
-        count0 = self.event_count
+        return self._dispatch(_INF if until is None else until, True) > 0
+
+    def _dispatch(self, bound: float, single: bool) -> int:
+        """The single dispatch loop body behind ``run()`` and ``step()``.
+
+        Drains calendar buckets in time order, firing each bucket's
+        events in scheduling order — bit-for-bit the (time, seq) order of
+        the engine's original tuple heap.  *bound* stops the clock
+        (``inf`` = never); *single* fires at most one event (``step()``),
+        implemented by splitting the adopted bucket rather than checking
+        a limit per event.  Returns the number of events fired.
+
+        Hot-path notes: everything touched per event is a local; the
+        fired count flushes to ``event_count`` per call (``finally``), so
+        ``pending``/``event_count`` are exact between calls and only
+        staler by the in-flight count when read from inside a callback.
+        A partially drained bucket (``step()``, or a callback raised) is
+        parked in ``_front`` so the next call resumes mid-bucket.
+        """
+        buckets = self._buckets
+        times = self._times
+        pop = heappop
+        profiler = prof.ACTIVE
+        fired = 0
         skipped = 0
+        it = None
+        blen = bskip = 0
+        now = self.now
+        if profiler is not None:
+            clock = profiler.clock
+            record = profiler.record
+            batch = prof.DISPATCH_BATCH
+            t_run = t_mark = clock()
+            mark = 0
+            retired0 = self._retired
+            entries0 = self._queue_entries()
+        front = self._front
         try:
-            while queue:
-                # Chunked batches keep the per-event cost identical to the
-                # unprofiled loop: the inner for replaces the while check,
-                # and fired counts come from event_count deltas instead of
-                # a per-event increment.
-                t_batch = clock()
-                n0 = self.event_count
-                for _ in range(prof.DISPATCH_BATCH):
-                    if not queue:
+            while True:
+                # -- adopt the next bucket --------------------------------
+                if front is not None:
+                    when, bucket = front
+                    front = self._front = None
+                    if when > bound:
+                        # The parked bucket lies beyond the bound: mirror
+                        # the next-event-beyond-until behaviour below.
+                        self._front = (when, bucket)
+                        self.now = bound
                         break
-                    when, _seq, event = queue[0]
-                    if event._cancelled:
-                        pop(queue)
+                else:
+                    if not times:
+                        break
+                    when = times[0]
+                    if when > bound:
+                        self.now = bound
+                        break
+                    pop(times)
+                    bucket = buckets.pop(when, None)
+                    if bucket is None:
+                        continue  # stale heap entry (compaction/duplicate)
+                if bucket[0]._cancelled:
+                    # Strip leading cancelled events *before* committing
+                    # the clock: a bucket holding only cancelled events
+                    # must not advance ``now`` to its time.
+                    pos, n = 0, len(bucket)
+                    while pos < n and bucket[pos]._cancelled:
+                        pos += 1
+                        self._cancelled_pending -= 1
+                        self._retired += 1
                         skipped += 1
+                    if pos == n:
                         continue
-                    if until is not None and when > until:
-                        n = self.event_count - n0
-                        if n:
-                            record("engine.dispatch", clock() - t_batch, n)
-                        self._now = until
-                        return self._now
-                    pop(queue)
-                    if when < self._now:
-                        raise SimulationError(
-                            f"time travel: event at {when} < now {self._now}")
-                    self._now = when
-                    self.event_count += 1
-                    event._fire()
-                n = self.event_count - n0
-                if n:
-                    record("engine.dispatch", clock() - t_batch, n)
-            return self._now
+                    bucket = bucket[pos:]
+                if when < now:
+                    raise SimulationError(
+                        f"time travel: event at {when} < now {now}")
+                self.now = now = when
+                if single and len(bucket) > 1:
+                    # step(): isolate the first live event and park the
+                    # rest, so the hot loop below needs no per-event
+                    # limit check on behalf of the cold caller.
+                    self._front = (when, bucket[1:])
+                    bucket = bucket[:1]
+                blen = len(bucket)
+                bskip = 0
+                it = iter(bucket)
+                # -- drain it (the per-event hot path) --------------------
+                for event in it:
+                    if event._cancelled:
+                        bskip += 1
+                        continue
+                    event._processed = True
+                    cbs = event.callbacks
+                    if cbs is not None:
+                        event.callbacks = None
+                        if cbs.__class__ is list:
+                            for cb in cbs:
+                                cb(event)
+                        else:
+                            cbs(event)
+                it = None
+                # Fired/skip counts are tallied per bucket, not per
+                # event: the hot loop stays free of counter bumps.
+                fired += blen - bskip
+                if bskip:
+                    self._cancelled_pending -= bskip
+                    self._retired += bskip
+                    skipped += bskip
+                if single:
+                    break
+                if profiler is not None and fired - mark >= batch:
+                    t_now = clock()
+                    record("engine.dispatch", t_now - t_mark, fired - mark)
+                    t_mark = t_now
+                    mark = fired
         finally:
-            record("engine.run", clock() - t_run)
-            profiler.count("engine.events", self.event_count - count0)
-            profiler.count("engine.heap_pushes", self._seq - seq0)
-            if skipped:
-                profiler.count("engine.cancel_skips", skipped)
+            self.event_count += fired
+            if it is not None:
+                # A callback raised mid-bucket: park the unfired
+                # remainder so the next call resumes in place, and
+                # reconstruct this bucket's tallies (everything consumed
+                # from the iterator either fired or was skipped).
+                rest = list(it)
+                fired += blen - bskip - len(rest)
+                if bskip:
+                    self._cancelled_pending -= bskip
+                    self._retired += bskip
+                    skipped += bskip
+                if rest:
+                    self._front = (now, rest)
+            if profiler is not None:
+                if fired > mark:
+                    record("engine.dispatch", clock() - t_mark, fired - mark)
+                record("engine.run", clock() - t_run)
+                profiler.count("engine.events", fired)
+                # Events scheduled during this call, reconstructed from
+                # conservation: every entry that entered the calendar
+                # either fired, was retired as cancelled, or is still
+                # queued.  (The schedule sites themselves stay free of
+                # profiling bookkeeping.)
+                profiler.count("engine.heap_pushes",
+                               fired + (self._retired - retired0)
+                               + self._queue_entries() - entries0)
+                if skipped:
+                    profiler.count("engine.cancel_skips", skipped)
+        return fired
 
-    def step(self) -> bool:
-        """Process a single event; returns False when the queue is empty."""
-        while self._queue:
-            when, _seq, event = heapq.heappop(self._queue)
-            if event._cancelled:
-                continue
-            if when < self._now:
-                raise SimulationError(
-                    f"time travel: event at {when} < now {self._now}")
-            self._now = when
-            self.event_count += 1
-            event._fire()
-            return True
-        return False
+    def _compact(self) -> None:
+        """Sweep lazily-deleted events out of the calendar, in place.
+
+        Mutates ``_times`` and the bucket lists via their existing
+        objects/keys so a dispatch loop holding local bindings stays
+        coherent; a parked front bucket is not in ``_buckets`` and is
+        left alone (its cancelled entries are skip-counted at drain).
+        """
+        buckets = self._buckets
+        removed = 0
+        kept = 0
+        for when in list(buckets):
+            old = buckets[when]
+            live = [event for event in old if not event._cancelled]
+            dead = len(old) - len(live)
+            kept += len(live)
+            if dead:
+                removed += dead
+                if live:
+                    buckets[when] = live
+                else:
+                    del buckets[when]
+        if removed:
+            self._cancelled_pending -= removed
+            self._retired += removed
+        times = self._times
+        times[:] = buckets
+        heapify(times)
+        # Re-arm once cancelled entries outnumber what this sweep kept
+        # (amortized O(1) work per cancel), never below the fixed floor;
+        # the leftover term covers cancelled events parked in the front
+        # bucket, which this sweep cannot reach — without it they could
+        # re-trigger an empty sweep on the very next cancel.
+        floor = kept if kept > COMPACT_THRESHOLD else COMPACT_THRESHOLD
+        self._compact_at = floor + self._cancelled_pending
+
+    # -- introspection ---------------------------------------------------
+    def _queue_entries(self) -> int:
+        """Total events in the calendar, cancelled included (O(buckets))."""
+        count = sum(map(len, self._buckets.values()))
+        front = self._front
+        if front is not None:
+            count += len(front[1])
+        return count
 
     @property
     def pending(self) -> int:
-        """Number of scheduled-but-unfired events."""
-        return len(self._queue)
+        """Number of *live* scheduled-but-unfired events.
+
+        Lazily-deleted cancelled events still sitting in the calendar are
+        excluded, so backlog metrics cannot over-report after fault
+        recovery retires its crash watchers.  O(number of distinct
+        pending timestamps) — an introspection aid, not a hot path.
+        """
+        return self._queue_entries() - self._cancelled_pending

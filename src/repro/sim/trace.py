@@ -11,9 +11,8 @@ both independently testable.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 __all__ = ["Interval", "TraceRecorder", "merge_intervals", "total_overlap",
            "complement"]
@@ -57,22 +56,46 @@ class Interval:
 
 
 class TraceRecorder:
-    """Collects :class:`Interval` records and answers aggregate queries."""
+    """Collects activity intervals and answers aggregate queries.
+
+    Recording is on the hot path of every characterized run (each task,
+    transfer and framework overhead lands here), so intervals are stored
+    as plain tuples in :class:`Interval` field order rather than as
+    dataclass instances — one tuple allocation per record instead of an
+    object plus ``__post_init__`` dispatch.  The :class:`Interval` view
+    is materialized lazily (and cached) the first time a query needs it;
+    aggregate queries (:meth:`busy_time`, :meth:`span`, ...) and the
+    power integrator read the raw rows directly and never materialize.
+    """
+
+    __slots__ = ("_rows", "_cache", "marks")
 
     def __init__(self):
-        self._intervals: List[Interval] = []
+        #: Raw rows in Interval field order:
+        #: ``(start, end, node, device, kind, activity, task_id, phase)``.
+        self._rows: List[tuple] = []
+        self._cache: List[Interval] = []
         self.marks: List[Tuple[float, str]] = []
 
     # -- recording -------------------------------------------------------
     def record(self, interval: Interval) -> None:
-        self._intervals.append(interval)
+        """Record an already-built (hence already-validated) interval."""
+        if len(self._cache) == len(self._rows):
+            self._cache.append(interval)
+        self._rows.append((interval.start, interval.end, interval.node,
+                           interval.device, interval.kind, interval.activity,
+                           interval.task_id, interval.phase))
 
     def add(self, start: float, end: float, node: str, device: str, kind: str,
             activity: float = 1.0, task_id: Optional[str] = None,
             phase: str = "other") -> None:
-        """Convenience wrapper building and recording an :class:`Interval`."""
-        self.record(Interval(start, end, node, device, kind, activity,
-                             task_id, phase))
+        """Record one interval without building an :class:`Interval`."""
+        if end < start or not 0.0 <= activity <= 1.0:
+            # Invalid record: build the Interval so the caller gets the
+            # canonical validation error with the full record in it.
+            Interval(start, end, node, device, kind, activity, task_id, phase)
+        self._rows.append((start, end, node, device, kind, activity,
+                           task_id, phase))
 
     def mark(self, time: float, label: str) -> None:
         """Record a point event (job submitted, phase boundary...)."""
@@ -80,21 +103,48 @@ class TraceRecorder:
 
     # -- queries ---------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._intervals)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[Interval]:
-        return iter(self._intervals)
+        return iter(self._materialize())
+
+    @property
+    def rows(self) -> List[tuple]:
+        """The raw rows, in record order — read-only; do not mutate."""
+        return self._rows
+
+    def _materialize(self) -> List[Interval]:
+        """The cached :class:`Interval` view, extended to cover new rows."""
+        cache, rows = self._cache, self._rows
+        if len(cache) != len(rows):
+            cache.extend(Interval(*row) for row in rows[len(cache):])
+        return cache
+
+    def _matching_rows(self, node: Optional[str] = None,
+                       device: Optional[str] = None,
+                       kind: Optional[str] = None,
+                       phase: Optional[str] = None) -> Iterator[tuple]:
+        for row in self._rows:
+            if node is not None and row[2] != node:
+                continue
+            if device is not None and row[3] != device:
+                continue
+            if kind is not None and not row[4].startswith(kind):
+                continue
+            if phase is not None and row[7] != phase:
+                continue
+            yield row
 
     @property
     def intervals(self) -> List[Interval]:
-        return list(self._intervals)
+        return list(self._materialize())
 
     def filter(self, node: Optional[str] = None, device: Optional[str] = None,
                kind: Optional[str] = None, phase: Optional[str] = None
                ) -> List[Interval]:
         """All intervals matching every provided criterion."""
         out = []
-        for iv in self._intervals:
+        for iv in self._materialize():
             if node is not None and iv.node != node:
                 continue
             if device is not None and iv.device != device:
@@ -108,25 +158,36 @@ class TraceRecorder:
 
     def span(self) -> Tuple[float, float]:
         """(earliest start, latest end) over all intervals; (0, 0) if empty."""
-        if not self._intervals:
+        rows = self._rows
+        if not rows:
             return (0.0, 0.0)
-        return (min(iv.start for iv in self._intervals),
-                max(iv.end for iv in self._intervals))
+        return (min(row[0] for row in rows), max(row[1] for row in rows))
 
     def busy_time(self, **criteria) -> float:
         """Sum of durations of matching intervals (double-counts overlap)."""
-        return sum(iv.duration for iv in self.filter(**criteria))
+        return sum(row[1] - row[0] for row in self._matching_rows(**criteria))
 
     def weighted_busy_time(self, **criteria) -> float:
         """Sum of duration × activity over matching intervals."""
-        return sum(iv.duration * iv.activity for iv in self.filter(**criteria))
+        return sum((row[1] - row[0]) * row[5]
+                   for row in self._matching_rows(**criteria))
 
     def phase_window(self, phase: str) -> Tuple[float, float]:
         """Wall-clock window ``[first start, last end]`` of a phase."""
-        ivs = self.filter(phase=phase)
-        if not ivs:
+        lo = hi = None
+        for row in self._rows:
+            if row[7] != phase:
+                continue
+            if lo is None:
+                lo, hi = row[0], row[1]
+            else:
+                if row[0] < lo:
+                    lo = row[0]
+                if row[1] > hi:
+                    hi = row[1]
+        if lo is None:
             return (0.0, 0.0)
-        return (min(iv.start for iv in ivs), max(iv.end for iv in ivs))
+        return (lo, hi)
 
     def phase_duration(self, phase: str) -> float:
         """Wall-clock extent of a phase (coalesced, not summed)."""

@@ -440,3 +440,107 @@ class TestSimulator:
             return log
 
         assert execute() == execute()
+
+
+class TestEngineCampaignEdges:
+    """Regression tests for the hot-path campaign's satellite bugfixes."""
+
+    def test_succeed_after_cancel_raises(self):
+        # The old engine scheduled the event and then silently skipped it
+        # as cancelled, stranding every waiter; now it raises loudly.
+        sim = Simulator()
+        ev = sim.event()
+        ev.cancel()
+        with pytest.raises(SimulationError, match="cancelled"):
+            ev.succeed(42)
+
+    def test_fail_after_cancel_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.cancel()
+        with pytest.raises(SimulationError, match="cancelled"):
+            ev.fail(RuntimeError("boom"))
+
+    def test_process_finishing_after_cancel_raises(self):
+        # A Process is an event too: cancelling it and then letting the
+        # generator finish hits the same inlined succeed path.
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc(sim))
+        p.cancel()
+        with pytest.raises(SimulationError, match="cancelled"):
+            sim.run()
+
+    def test_interrupt_during_anyof(self):
+        sim = Simulator()
+        log = []
+
+        def waiter(sim):
+            try:
+                yield sim.any_of([sim.timeout(5.0), sim.timeout(9.0)])
+                log.append(("fired", sim.now))
+            except Interrupt as intr:
+                log.append(("interrupted", intr.cause, sim.now))
+            yield sim.timeout(1.0)
+            log.append(("moved-on", sim.now))
+
+        def bolt(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("storm")
+
+        target = sim.process(waiter(sim))
+        sim.process(bolt(sim, target))
+        sim.run()
+        # The AnyOf children still fire at t=5/9 but the stale-wakeup
+        # guard must ignore them; the waiter resumed exactly once.
+        assert log == [("interrupted", "storm", 2.0), ("moved-on", 3.0)]
+
+    def test_pending_excludes_lazily_deleted_cancellations(self):
+        sim = Simulator()
+        live = sim.timeout(1.0)
+        doomed = [sim.timeout(2.0) for _ in range(10)]
+        assert sim.pending == 11
+        for t in doomed:
+            t.cancel()
+        # The cancelled events still sit in their calendar bucket, but
+        # backlog metrics must see only the live one.
+        assert sim.pending == 1
+        assert not live.processed
+
+    def test_compaction_sweeps_cancelled_events(self):
+        from repro.sim.engine import COMPACT_THRESHOLD
+        sim = Simulator()
+        sim.timeout(0.5)                          # one live sentinel
+        doomed = [sim.timeout(1.0 + i) for i in range(COMPACT_THRESHOLD + 50)]
+        entries_before = sim._queue_entries()
+        for t in doomed:
+            t.cancel()
+        # The sweep fired at the threshold: retired entries physically
+        # left the calendar instead of waiting for dispatch to skip them.
+        assert sim._queue_entries() < entries_before
+        assert sim._cancelled_pending < len(doomed)
+        assert sim.pending == 1
+        assert sim.run() == 0.5   # cancelled events never advance now
+
+    def test_step_respects_until_bound(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        assert not sim.step(until=0.5)   # next event beyond the bound
+        assert sim.now == 0.5
+        assert sim.step()                # without a bound it fires
+        assert sim.now == 1.0
+
+    def test_step_tallies_cancel_skips_like_run(self):
+        from repro.obs import prof
+        sim = Simulator()
+        doomed = sim.timeout(1.0)
+        sim.timeout(2.0)
+        doomed.cancel()
+        with prof.profiled() as profiler:
+            assert sim.step()
+        assert sim.now == 2.0
+        assert profiler.meta.get("engine.cancel_skips") == 1
+        assert profiler.meta.get("engine.events") == 1

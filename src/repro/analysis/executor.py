@@ -35,6 +35,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -179,6 +180,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0   #: unreadable entries dropped by this process
 
     @property
     def _bucket(self) -> Path:
@@ -205,12 +207,26 @@ class ResultCache:
             self.misses += 1
             return None
         except Exception:
-            # Corrupt/truncated entry: drop it and re-simulate.
-            entry.unlink(missing_ok=True)
-            self.misses += 1
+            # Corrupt/truncated entry (e.g. a writer killed mid-write
+            # before the atomic-rename discipline existed, or a torn
+            # disk): drop it and re-simulate.
+            self._drop_corrupt(entry)
+            return None
+        if not isinstance(result, JobResult):
+            # Readable pickle, wrong payload — same treatment: a stale
+            # or foreign object must never masquerade as a cell result.
+            self._drop_corrupt(entry)
             return None
         self.hits += 1
         return result
+
+    def _drop_corrupt(self, entry: Path) -> None:
+        try:
+            entry.unlink(missing_ok=True)
+        except OSError:
+            pass            # read-only cache: still served as a miss
+        self.corrupt += 1
+        self.misses += 1
 
     def put(self, key: RunKey, conf: JobConf, result: JobResult) -> None:
         """Persist one cell atomically."""
@@ -252,6 +268,32 @@ class ResultCache:
                           entries=current, stale_entries=stale,
                           size_bytes=size, hits=self.hits,
                           misses=self.misses, stores=self.stores)
+
+    def reap_orphans(self, max_age_s: float = 300.0) -> int:
+        """Delete abandoned ``*.tmp`` spill files; returns how many.
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+        temp file behind.  Readers never open them (lookups address only
+        ``<key>.pkl``), so orphans cannot poison results — they only
+        leak disk.  Long-lived processes (the HTTP service) call this on
+        startup.  Only files older than *max_age_s* are removed so a
+        concurrent writer mid-``put`` is never raced.
+        """
+        removed = 0
+        if not self.path.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        for bucket in sorted(self.path.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for tmp in sorted(bucket.glob("*.tmp")):
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        removed += 1
+                except OSError:
+                    pass    # racing writer finished or cleaned up first
+        return removed
 
     def clear(self, stale_only: bool = False) -> int:
         """Delete cached entries; returns how many were removed."""

@@ -16,6 +16,8 @@ warmup repetitions.
 
 from __future__ import annotations
 
+import asyncio
+import json
 import shutil
 import tempfile
 import time
@@ -23,11 +25,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from ..analysis.executor import ResultCache, run_cells
+from ..analysis.executor import ResultCache, cache_key, run_cells
 from ..cluster.arrivals import ArrivalConfig, poisson_stream
 from ..cluster.datacenter import (DatacenterSpec, default_job_model,
                                   run_policies)
 from ..core.characterization import Characterizer, RunKey
+from ..mapreduce.config import DEFAULT_CONF
 from ..mapreduce.driver import simulate_job
 from ..obs import Tracer, perfetto_json, prof, text_summary, timeline_csv
 from ..sim.engine import Simulator
@@ -53,6 +56,15 @@ _SWEEP_KEYS = tuple(
 _OVERHEAD_GB = 2.0
 _OVERHEAD_BEST_OF = 5
 
+#: Pinned serve scenario: boot the full what-if stack on loopback and
+#: replay a fixed 64-request closed-loop trace against a fully warm
+#: sharded cache, so the timed work is the service path (HTTP parse,
+#: coalescing map, cache probe, canonical JSON) and never a simulation.
+_SERVE_REQUESTS = 64
+_SERVE_CONCURRENCY = 16
+_SERVE_SHARDS = 4
+_SERVE_SEED = 5
+
 #: Pinned datacenter scenario: a small mixed cluster replaying a fixed
 #: 12-job stream under two policies.  The inner per-job cells are
 #: pre-simulated in a context accessor, so the timed repetitions
@@ -72,6 +84,7 @@ class ScenarioContext:
     tmp: Path
     _tracer: Optional[Tracer] = None
     _warm_cache_dir: Optional[Path] = None
+    _serve_cache_dir: Optional[Path] = None
     _dc_model: Optional[Callable] = None
     _counter: int = 0
 
@@ -98,6 +111,19 @@ class ScenarioContext:
             run_cells(list(_SWEEP_KEYS), jobs=1,
                       cache=ResultCache(self._warm_cache_dir))
         return ResultCache(self._warm_cache_dir)
+
+    def serve_cache_dir(self) -> Path:
+        """A sharded result cache pre-filled with the serve trace's cells."""
+        if self._serve_cache_dir is None:
+            from ..serve.service import ShardedResultCache
+            self._serve_cache_dir = self.fresh_dir("serve-cache")
+            keys = _serve_trace_keys()
+            results = run_cells(keys, jobs=1)
+            sharded = ShardedResultCache(str(self._serve_cache_dir),
+                                         shards=_SERVE_SHARDS)
+            for key, result in results.items():
+                sharded.put(cache_key(key), key, DEFAULT_CONF, result)
+        return self._serve_cache_dir
 
     def datacenter_model(self):
         """A job model with every pinned-stream cell pre-simulated."""
@@ -185,6 +211,63 @@ def trace_export(ctx: ScenarioContext) -> Dict[str, float]:
             "spans": float(len(tracer.spans))}
 
 
+def _serve_load_config():
+    from ..loadgen import LoadConfig
+    return LoadConfig(seed=_SERVE_SEED, n_requests=_SERVE_REQUESTS,
+                      compare_fraction=0.5,
+                      workloads=("wordcount", "terasort"),
+                      freqs_ghz=(1.2, 1.8), sizes_gb=(0.1,))
+
+
+def _serve_trace_keys() -> List[RunKey]:
+    """Every distinct grid cell the pinned serve trace can touch."""
+    from ..loadgen import build_trace
+    keys: List[RunKey] = []
+    for query in build_trace(_serve_load_config()):
+        doc = json.loads(query.body)
+        doc.pop("goal", None)
+        if query.path == "/compare":
+            for machine in ("atom", "xeon"):
+                keys.append(RunKey(machine=machine, **doc))
+        else:
+            keys.append(RunKey(**doc))
+    return list(dict.fromkeys(keys))
+
+
+def serve_qps(ctx: ScenarioContext) -> Dict[str, float]:
+    """Boot the what-if API, replay the pinned trace, tear down.
+
+    Measures the full service path end to end — TCP accept, HTTP
+    parse, coalescing probe, sharded cache read, canonical JSON
+    encode — against a fully warm cache, so a regression here is a
+    serving-layer regression, never a simulation slowdown.
+    """
+    from ..loadgen import build_trace, run_load
+    from ..serve.run import start_stack, stop_stack
+    from ..serve.service import ServiceConfig
+
+    cache_dir = ctx.serve_cache_dir()     # memoized: built during warmup
+    trace = build_trace(_serve_load_config())
+
+    async def _run():
+        handle = await start_stack(ServiceConfig(
+            workers=2, shards=_SERVE_SHARDS, cache_dir=str(cache_dir)))
+        try:
+            return await run_load(handle.host, handle.port, trace,
+                                  concurrency=_SERVE_CONCURRENCY,
+                                  timeout_s=60.0)
+        finally:
+            await stop_stack(handle, graceful=True)
+
+    report = asyncio.run(_run())
+    return {"qps": report.qps,
+            "p50_ms": report.latency.quantile(0.5) * 1000.0,
+            "p99_ms": report.latency.quantile(0.99) * 1000.0,
+            "requests": float(report.requests),
+            "errors": float(report.errors),
+            "cache_hits": float(report.cache_hits)}
+
+
 def datacenter_small(ctx: ScenarioContext) -> Dict[str, float]:
     spec = DatacenterSpec.mixed(_DC_NODES, rack_size=_DC_RACK)
     stream = poisson_stream(_DC_ARRIVALS)
@@ -252,6 +335,10 @@ SCENARIOS: List[Scenario] = [
              f"{_DC_NODES}-node mixed cluster, {_DC_ARRIVALS.n_jobs}-job "
              f"stream under {' + '.join(_DC_POLICIES)} (warm inner cells)",
              datacenter_small),
+    Scenario("serve.qps", "macro",
+             f"what-if API: {_SERVE_REQUESTS}-request closed-loop trace, "
+             f"{_SERVE_CONCURRENCY} outstanding, warm sharded cache",
+             serve_qps, profile=False),
     Scenario("trace.export", "macro",
              "Perfetto JSON + timeline CSV + text summary of a traced run",
              trace_export, profile=False),

@@ -14,6 +14,8 @@ Examples::
     repro-hadoop validate
     repro-hadoop cache stats
     repro-hadoop cache clear
+    repro-hadoop serve --port 8008           # async what-if API
+    repro-hadoop loadtest --requests 1000 --concurrency 64 --seed 1
     repro-hadoop bench --quick               # host-perf suite -> BENCH_*.json
     repro-hadoop bench compare OLD NEW       # perf-regression gate
     repro-hadoop lint                        # determinism/purity linter
@@ -196,6 +198,93 @@ def build_parser() -> argparse.ArgumentParser:
                            "(for CI artifacts)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    serve = sub.add_parser(
+        "serve", help="run the async what-if HTTP API "
+                      "(simulate/sweep/compare; see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8008,
+                       help="TCP port (default 8008; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="simulation worker processes (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=128, metavar="N",
+                       help="max admitted cells before requests are shed "
+                            "with 429 (default 128)")
+    serve.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                       help="per-request deadline in seconds -> 504 "
+                            "(default 30)")
+    serve.add_argument("--batch-max", type=int, default=8, metavar="N",
+                       help="max cells per process-pool submission "
+                            "(default 8)")
+    serve.add_argument("--shards", type=int, default=8, metavar="N",
+                       help="result-cache namespace shards (default 8)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="grace period for SIGTERM drain (default 10)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent result cache")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-hadoop)")
+
+    loadtest = sub.add_parser(
+        "loadtest", help="replay a seed-deterministic query trace against "
+                         "a running server and report latency/qps")
+    loadtest.add_argument("--host", default="127.0.0.1")
+    loadtest.add_argument("--port", type=int, default=8008)
+    loadtest.add_argument("--spawn", action="store_true",
+                          help="boot an in-process server on an ephemeral "
+                               "port instead of targeting --host/--port")
+    loadtest.add_argument("--requests", type=int, default=200, metavar="N",
+                          help="trace length (default 200)")
+    loadtest.add_argument("--concurrency", type=int, default=32,
+                          metavar="N",
+                          help="outstanding requests (default 32)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="trace seed (same seed = byte-identical "
+                               "request trace)")
+    loadtest.add_argument("--mode", choices=["closed", "open"],
+                          default="closed",
+                          help="closed loop (capacity) or open loop "
+                               "(fixed arrival rate; default closed)")
+    loadtest.add_argument("--rate", type=float, default=200.0, metavar="R",
+                          help="open-loop arrival rate in req/s "
+                               "(default 200)")
+    loadtest.add_argument("--compare-fraction", type=float, default=0.6,
+                          metavar="F",
+                          help="share of /compare queries in the mix "
+                               "(default 0.6; the rest are /simulate)")
+    loadtest.add_argument("--timeout", type=float, default=60.0,
+                          metavar="S",
+                          help="client-side per-request timeout "
+                               "(default 60)")
+    loadtest.add_argument("--out", "-o", default=None, metavar="FILE",
+                          help="also write the JSON report to FILE")
+    loadtest.add_argument("--dry-run", action="store_true",
+                          help="print the canonical trace and exit "
+                               "(no server needed; for determinism "
+                               "checks)")
+    loadtest.add_argument("--require-coalesce", type=int, default=0,
+                          metavar="N",
+                          help="exit 1 unless >= N requests were "
+                               "coalesced")
+    loadtest.add_argument("--require-cache-hits", type=int, default=0,
+                          metavar="N",
+                          help="exit 1 unless >= N cache hits were "
+                               "served")
+    loadtest.add_argument("--workers", type=int, default=2, metavar="N",
+                          help="with --spawn: server worker processes")
+    loadtest.add_argument("--queue-limit", type=int, default=128,
+                          metavar="N",
+                          help="with --spawn: server admission limit")
+    loadtest.add_argument("--batch-max", type=int, default=8, metavar="N",
+                          help="with --spawn: server batch size cap")
+    loadtest.add_argument("--no-cache", action="store_true",
+                          help="with --spawn: serve without the "
+                               "persistent cache")
+    loadtest.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="with --spawn: server cache directory")
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result cache")
@@ -505,6 +594,102 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.run import serve_forever
+    from .serve.service import ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            workers=args.workers, queue_limit=args.queue_limit,
+            request_timeout_s=args.timeout, batch_max=args.batch_max,
+            shards=args.shards, cache_dir=args.cache_dir,
+            no_cache=args.no_cache, drain_timeout_s=args.drain_timeout)
+    except ValueError as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(serve_forever(config, args.host, args.port))
+    except OSError as exc:          # port in use, bad bind address, ...
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:       # signal handler races on teardown
+        return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_mod
+
+    from .loadgen import LoadConfig, build_trace, run_load, trace_lines
+
+    try:
+        load_config = LoadConfig(
+            seed=args.seed, n_requests=args.requests, mode=args.mode,
+            rate_per_s=args.rate, compare_fraction=args.compare_fraction)
+        trace = build_trace(load_config)
+    except ValueError as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        for line in trace_lines(trace):
+            print(line)
+        return 0
+
+    async def _run():
+        if not args.spawn:
+            return await run_load(args.host, args.port, trace,
+                                  concurrency=args.concurrency,
+                                  timeout_s=args.timeout)
+        from .serve.run import start_stack, stop_stack
+        from .serve.service import ServiceConfig
+        handle = await start_stack(ServiceConfig(
+            workers=args.workers, queue_limit=args.queue_limit,
+            batch_max=args.batch_max, no_cache=args.no_cache,
+            cache_dir=args.cache_dir))
+        try:
+            return await run_load(handle.host, handle.port, trace,
+                                  concurrency=args.concurrency,
+                                  timeout_s=args.timeout)
+        finally:
+            await stop_stack(handle, graceful=True)
+
+    try:
+        report = asyncio.run(_run())
+    except (ValueError, OSError) as exc:
+        print(f"repro-hadoop: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.out:
+        payload = {"config": {
+            "seed": args.seed, "requests": args.requests,
+            "concurrency": args.concurrency, "mode": args.mode,
+            "rate_per_s": args.rate,
+            "compare_fraction": args.compare_fraction,
+        }, "report": report.to_dict()}
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json_mod.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    failures = []
+    if report.errors:
+        failures.append(f"{report.errors} errors "
+                        f"({report.server_errors} 5xx, "
+                        f"{report.transport_errors} transport, "
+                        f"{report.mismatches} response mismatches)")
+    if report.coalesced < args.require_coalesce:
+        failures.append(f"coalesced {report.coalesced} < required "
+                        f"{args.require_coalesce}")
+    if report.cache_hits < args.require_cache_hits:
+        failures.append(f"cache hits {report.cache_hits} < required "
+                        f"{args.require_cache_hits}")
+    if failures:
+        print("loadtest FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = _open_cache(args.cache_dir)
     if args.action == "stats":
@@ -553,6 +738,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             update_baseline=args.update_baseline,
             no_baseline=args.no_baseline, root=args.root,
             output=args.output, list_rules=args.list_rules)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "bench":

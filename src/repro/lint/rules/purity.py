@@ -54,7 +54,12 @@ class ImpureModelCodeRule(Rule):
     description = ("sim/ and arch/ are pure models over simulated time; "
                    "filesystem, network and console I/O belongs to the "
                    "analysis/export layer and the CLI")
-    include = ("src/repro/sim", "src/repro/arch", "src/repro/cluster")
+    #: serve/work.py (the process-pool batch worker) and
+    #: loadgen/generator.py (trace generation) compute simulation-facing
+    #: results, so they are pure-by-contract like the model packages;
+    #: the rest of serve/ and loadgen/ is host-side traffic code.
+    include = ("src/repro/sim", "src/repro/arch", "src/repro/cluster",
+               "src/repro/serve/work.py", "src/repro/loadgen/generator.py")
 
     def _impure_call(self, node: ast.Call) -> Optional[str]:
         name = dotted_name(node.func)

@@ -1,0 +1,25 @@
+"""Load-generator harness for the what-if API.
+
+Two halves, split along the determinism boundary:
+
+* :mod:`repro.loadgen.generator` — builds the request **trace**:
+  thousands of "which machine wins for my workload?" queries with
+  workload / frequency / size mixes drawn from the repo's SHA-256
+  ``unit_draw`` machinery.  Same seed ⇒ byte-identical trace, every
+  run, any host — the trace is the experiment's input and is held to
+  model-code determinism rules (lint-enforced, no wall clock).
+* :mod:`repro.loadgen.client` — replays a trace against a live server
+  (open- or closed-loop), records latency into
+  :class:`repro.obs.metrics.LogHistogram`, verifies that identical
+  request bodies got byte-identical responses, and scrapes the server's
+  ``/metrics`` before and after to report coalesce and cache-hit rates.
+
+``repro-hadoop loadtest`` is the CLI front end; see ``docs/SERVICE.md``
+for a capacity-planning walkthrough built on its report.
+"""
+
+from .client import LoadReport, run_load
+from .generator import LoadConfig, QuerySpec, build_trace, trace_lines
+
+__all__ = ["LoadConfig", "LoadReport", "QuerySpec", "build_trace",
+           "run_load", "trace_lines"]

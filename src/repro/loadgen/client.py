@@ -1,0 +1,314 @@
+"""Asyncio replay client: drive a trace against a live server.
+
+Closed loop: ``concurrency`` workers each own one keep-alive connection
+and pull the next trace entry back-to-back — the classic
+"N outstanding requests" model that measures server capacity.  Open
+loop: requests launch at their trace offsets regardless of completions
+(up to ``concurrency`` outstanding), which is what exposes queueing
+collapse under a fixed arrival rate.
+
+Latency lands in :class:`repro.obs.metrics.LogHistogram` (p50/p95/p99
+via its ``quantile`` API); the server's ``/metrics?format=json`` is
+scraped before and after the run so the report can attribute traffic to
+coalescing and cache hits.  Responses to identical request bodies are
+digest-checked against each other — the service promises byte-identical
+bodies for identical requests, and the load generator is the natural
+place to hold it to that.
+
+This module reads the wall clock on purpose: request latency is a
+host-side observable.  Trace *generation* (the deterministic half)
+lives in :mod:`repro.loadgen.generator`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import LogHistogram
+from .generator import QuerySpec, unique_bodies
+
+__all__ = ["LoadReport", "run_load"]
+
+_READ_LIMIT = 1024 * 1024
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured."""
+
+    requests: int = 0
+    ok: int = 0                  #: 2xx responses
+    shed: int = 0                #: 429 (backpressure working as designed)
+    unavailable: int = 0         #: 503 (draining)
+    client_errors: int = 0       #: other 4xx (bad trace entries)
+    server_errors: int = 0       #: 5xx — should be zero, always
+    transport_errors: int = 0    #: connect/reset/short-read failures
+    mismatches: int = 0          #: identical bodies, different responses
+    duration_s: float = 0.0
+    key_space: int = 0           #: distinct (path, body) pairs in the trace
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latency: LogHistogram = field(default_factory=LogHistogram)
+    route_latency: Dict[str, LogHistogram] = field(default_factory=dict)
+    metrics_before: Dict[str, object] = field(default_factory=dict)
+    metrics_after: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        """Failures that should fail a gate (5xx + transport + body
+        mismatches).  Shed traffic (429/503) is backpressure doing its
+        job and is reported separately."""
+        return self.server_errors + self.transport_errors + self.mismatches
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    def _metric_delta(self, name: str) -> int:
+        before = self.metrics_before.get(name, 0) or 0
+        after = self.metrics_after.get(name, 0) or 0
+        try:
+            return int(after) - int(before)
+        except (TypeError, ValueError):
+            return 0
+
+    @property
+    def coalesced(self) -> int:
+        return self._metric_delta("coalesced_total")
+
+    @property
+    def cache_hits(self) -> int:
+        return self._metric_delta("cache_hits_total")
+
+    @property
+    def executor_submissions(self) -> int:
+        return self._metric_delta("executor_submissions_total")
+
+    @property
+    def executor_cells(self) -> int:
+        return self._metric_delta("executor_cells_total")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "unavailable": self.unavailable,
+            "client_errors": self.client_errors,
+            "server_errors": self.server_errors,
+            "transport_errors": self.transport_errors,
+            "mismatches": self.mismatches,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "qps": self.qps,
+            "key_space": self.key_space,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "executor_submissions": self.executor_submissions,
+            "executor_cells": self.executor_cells,
+            "status_counts": {str(k): v for k, v in
+                              sorted(self.status_counts.items())},
+            "latency": self.latency.to_dict(),
+            "route_latency": {route: hist.to_dict() for route, hist in
+                              sorted(self.route_latency.items())},
+        }
+
+    def render(self) -> str:
+        ms = 1000.0
+        lines = [
+            f"requests        : {self.requests} "
+            f"({self.qps:.1f} req/s over {self.duration_s:.2f}s)",
+            f"ok / shed / err : {self.ok} / "
+            f"{self.shed + self.unavailable} / {self.errors}",
+            f"key space       : {self.key_space} distinct queries",
+            f"coalesced       : {self.coalesced}",
+            f"cache hits      : {self.cache_hits}",
+            f"pool submissions: {self.executor_submissions} "
+            f"({self.executor_cells} cells)",
+        ]
+        if self.latency.total:
+            lines.append(
+                f"latency p50/p95/p99: "
+                f"{self.latency.quantile(0.50) * ms:.2f} / "
+                f"{self.latency.quantile(0.95) * ms:.2f} / "
+                f"{self.latency.quantile(0.99) * ms:.2f} ms")
+        for route, hist in sorted(self.route_latency.items()):
+            if hist.total:
+                lines.append(
+                    f"  {route:10s} p50 {hist.quantile(0.5) * ms:8.2f} ms  "
+                    f"p99 {hist.quantile(0.99) * ms:8.2f} ms  "
+                    f"({hist.total} reqs)")
+        return "\n".join(lines)
+
+
+class _Connection:
+    """One keep-alive client connection with tiny HTTP/1.1 parsing."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def _ensure_open(self) -> None:
+        if self.writer is None or self.writer.is_closing():
+            self.reader, self.writer = await asyncio.open_connection(
+                self.host, self.port, limit=_READ_LIMIT)
+
+    async def request(self, method: str, path: str,
+                      body: str = "") -> Tuple[int, bytes]:
+        """Issue one request; returns (status, body). Retries a stale
+        keep-alive connection once."""
+        for attempt in (0, 1):
+            try:
+                await self._ensure_open()
+                assert self.reader is not None and self.writer is not None
+                payload = body.encode("utf-8")
+                head = (f"{method} {path} HTTP/1.1\r\n"
+                        f"Host: {self.host}:{self.port}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(payload)}\r\n"
+                        f"\r\n").encode("ascii")
+                self.writer.write(head + payload)
+                await self.writer.drain()
+                return await self._read_response()
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _read_response(self) -> Tuple[int, bytes]:
+        assert self.reader is not None
+        head = await self.reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("ascii", "replace").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self.reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            self.close()
+        return status, data
+
+    def close(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+        self.reader = self.writer = None
+
+
+async def _scrape_metrics(host: str, port: int) -> Dict[str, object]:
+    conn = _Connection(host, port)
+    try:
+        status, data = await conn.request("GET", "/metrics?format=json")
+        if status != 200:
+            return {}
+        return json.loads(data.decode("utf-8"))
+    except Exception:
+        return {}
+    finally:
+        conn.close()
+
+
+async def run_load(host: str, port: int, trace: Sequence[QuerySpec],
+                   concurrency: int = 32,
+                   timeout_s: float = 60.0) -> LoadReport:
+    """Replay *trace* and measure; open/closed loop is encoded in the
+    trace's offsets (all-zero offsets ⇒ closed loop)."""
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    report = LoadReport()
+    report.key_space = unique_bodies(trace)
+    report.metrics_before = await _scrape_metrics(host, port)
+
+    digests: Dict[Tuple[str, str], str] = {}
+    open_loop = any(q.offset_s > 0.0 for q in trace)
+    t_start = time.perf_counter()
+
+    async def issue(conn: _Connection, q: QuerySpec) -> None:
+        t0 = time.perf_counter()
+        try:
+            status, data = await asyncio.wait_for(
+                conn.request(q.method, q.path, q.body), timeout_s)
+        except (asyncio.TimeoutError, ConnectionError,
+                asyncio.IncompleteReadError, OSError):
+            report.transport_errors += 1
+            conn.close()
+            return
+        elapsed = time.perf_counter() - t0
+        report.latency.record(elapsed)
+        hist = report.route_latency.get(q.path)
+        if hist is None:
+            hist = report.route_latency[q.path] = LogHistogram()
+        hist.record(elapsed)
+        report.status_counts[status] = (
+            report.status_counts.get(status, 0) + 1)
+        if 200 <= status < 300:
+            report.ok += 1
+            digest = hashlib.sha256(data).hexdigest()
+            seen = digests.setdefault((q.path, q.body), digest)
+            if seen != digest:
+                report.mismatches += 1
+        elif status == 429:
+            report.shed += 1
+        elif status == 503:
+            report.unavailable += 1
+        elif 400 <= status < 500:
+            report.client_errors += 1
+        else:
+            report.server_errors += 1
+
+    if open_loop:
+        semaphore = asyncio.Semaphore(concurrency)
+        pool = [_Connection(host, port) for _ in range(concurrency)]
+        free = list(pool)
+
+        async def timed(q: QuerySpec) -> None:
+            delay = q.offset_s - (time.perf_counter() - t_start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            async with semaphore:
+                conn = free.pop()
+                try:
+                    await issue(conn, q)
+                finally:
+                    free.append(conn)
+
+        await asyncio.gather(*(timed(q) for q in trace))
+        for conn in pool:
+            conn.close()
+    else:
+        queue: "asyncio.Queue[QuerySpec]" = asyncio.Queue()
+        for q in trace:
+            queue.put_nowait(q)
+
+        async def worker() -> None:
+            conn = _Connection(host, port)
+            try:
+                while True:
+                    try:
+                        q = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    await issue(conn, q)
+            finally:
+                conn.close()
+
+        await asyncio.gather(*(worker()
+                               for _ in range(min(concurrency,
+                                                  len(trace)))))
+
+    report.duration_s = time.perf_counter() - t_start
+    report.requests = len(trace)
+    report.metrics_after = await _scrape_metrics(host, port)
+    return report

@@ -1,0 +1,149 @@
+"""Seed-deterministic request-trace generation.
+
+A trace is a list of :class:`QuerySpec`: the i-th request's endpoint,
+canonical JSON body, and (for open-loop runs) its arrival offset.
+Every draw flows from SHA-256 label hashing
+(:func:`repro.sim.faults.unit_draw`), so the same
+:class:`LoadConfig` always yields the same trace — byte for byte — on
+any host, which is what makes a ``loadtest`` run a *reproducible
+experiment* rather than a one-off: two runs with the same seed hit the
+server with identical request streams, and the latency distributions
+they report are comparable.
+
+The key-space is deliberately small (a handful of workloads ×
+frequencies × sizes): real what-if traffic is heavily repetitive — many
+users asking about similar jobs — and the repetition is exactly what
+exercises the server's coalescing and cache paths.
+
+This module must stay wall-clock-free and unseeded-randomness-free
+(DET003 includes it; see ``docs/LINTING.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim.faults import unit_draw
+
+__all__ = ["LoadConfig", "QuerySpec", "build_trace", "trace_lines",
+           "unique_bodies"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One request of the trace (body is canonical JSON text)."""
+
+    index: int
+    offset_s: float          #: arrival offset for open-loop replay
+    method: str
+    path: str
+    body: str
+
+    def line(self) -> str:
+        """Canonical one-line rendering (trace determinism checks)."""
+        return (f"{self.index}\t{self.offset_s!r}\t{self.method} "
+                f"{self.path}\t{self.body}")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """The knobs of one synthetic what-if traffic mix."""
+
+    seed: int = 0
+    n_requests: int = 200
+    mode: str = "closed"                 #: ``closed`` | ``open``
+    rate_per_s: float = 200.0            #: open-loop mean arrival rate
+    compare_fraction: float = 0.6        #: share of POST /compare queries
+    workloads: Tuple[str, ...] = ("wordcount", "terasort", "grep", "sort")
+    #: Relative workload popularity (defaults to uniform).
+    workload_weights: Tuple[float, ...] = ()
+    machines: Tuple[str, ...] = ("atom", "xeon")
+    freqs_ghz: Tuple[float, ...] = (1.2, 1.4, 1.6, 1.8)
+    sizes_gb: Tuple[float, ...] = (0.1, 0.25)
+    n_nodes: int = 3
+    goals: Tuple[str, ...] = ("EDP", "ED2P")
+
+    def __post_init__(self):
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"mode must be closed|open, got {self.mode!r}")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if not 0.0 <= self.compare_fraction <= 1.0:
+            raise ValueError("compare_fraction must be in [0, 1]")
+        if self.mode == "open" and self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive for open loop")
+        if self.workload_weights and (
+                len(self.workload_weights) != len(self.workloads)):
+            raise ValueError("workload_weights must match workloads")
+
+
+def _weighted_pick(u: float, choices: Sequence, weights: Sequence[float]):
+    """Map a unit draw onto weighted *choices* (deterministic scan)."""
+    total = float(sum(weights))
+    acc = 0.0
+    target = u * total
+    for choice, weight in zip(choices, weights):
+        acc += weight
+        if target < acc:
+            return choice
+    return choices[-1]
+
+
+def _pick(u: float, choices: Sequence):
+    return choices[min(int(u * len(choices)), len(choices) - 1)]
+
+
+def build_trace(config: LoadConfig) -> List[QuerySpec]:
+    """Expand a :class:`LoadConfig` into its full request trace."""
+    weights = (config.workload_weights
+               or tuple(1.0 for _ in config.workloads))
+    queries: List[QuerySpec] = []
+    offset = 0.0
+    for i in range(config.n_requests):
+        label = str(i)
+        workload = _weighted_pick(
+            unit_draw(config.seed, "lg", label, "wl"),
+            config.workloads, weights)
+        freq = _pick(unit_draw(config.seed, "lg", label, "freq"),
+                     config.freqs_ghz)
+        size = _pick(unit_draw(config.seed, "lg", label, "size"),
+                     config.sizes_gb)
+        doc: Dict[str, object] = {
+            "workload": workload,
+            "freq_ghz": freq,
+            "data_per_node_gb": size,
+            "n_nodes": config.n_nodes,
+        }
+        if (unit_draw(config.seed, "lg", label, "kind")
+                < config.compare_fraction):
+            path = "/compare"
+            doc["goal"] = _pick(
+                unit_draw(config.seed, "lg", label, "goal"), config.goals)
+        else:
+            path = "/simulate"
+            doc["machine"] = _pick(
+                unit_draw(config.seed, "lg", label, "machine"),
+                config.machines)
+        if config.mode == "open":
+            # Poisson arrivals: exponential gaps at the configured rate.
+            u = unit_draw(config.seed, "lg", label, "gap")
+            offset += -math.log(1.0 - u) / config.rate_per_s
+        body = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        queries.append(QuerySpec(
+            index=i,
+            offset_s=offset if config.mode == "open" else 0.0,
+            method="POST", path=path, body=body))
+    return queries
+
+
+def trace_lines(trace: Sequence[QuerySpec]) -> List[str]:
+    """Canonical text rendering of a trace (one line per request)."""
+    return [q.line() for q in trace]
+
+
+def unique_bodies(trace: Sequence[QuerySpec]) -> int:
+    """Distinct (path, body) pairs — the trace's effective key-space."""
+    return len({(q.path, q.body) for q in trace})

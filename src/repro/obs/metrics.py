@@ -97,27 +97,40 @@ class LogHistogram:
     BASE = math.sqrt(2.0)
     N_BUCKETS = 80
 
-    __slots__ = ("counts", "total", "min", "max", "_log_base", "_log_min")
+    #: Exact bucket edges (``_EDGES[i]`` is bucket *i*'s inclusive low
+    #: bound, ``_EDGES[i+1]`` its exclusive high) — filled in right
+    #: after the class body.  Working from one shared table makes
+    #: :meth:`bucket_of` and :meth:`bucket_bounds` agree at every edge
+    #: by construction; the previous log-arithmetic ``bucket_of``
+    #: picked up a half-ulp of division error and misfiled values
+    #: sitting exactly on 79 of the 80 bucket boundaries.
+    _EDGES: List[float] = []
+
+    __slots__ = ("counts", "total", "min", "max")
 
     def __init__(self):
         self.counts: List[int] = [0] * self.N_BUCKETS
         self.total = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self._log_base = math.log(self.BASE)
-        self._log_min = math.log(self.MIN_VALUE)
 
     def bucket_of(self, value: float) -> int:
-        """Index of the bucket *value* falls into (clamped to range)."""
+        """Index of the bucket *value* falls into (clamped to range).
+
+        A right-bisect over the precomputed edge table: exact at every
+        boundary and branch-free on the recording hot path (the
+        profiler calls this once per phase observation).
+        """
         if value <= self.MIN_VALUE:
             return 0
-        i = int((math.log(value) - self._log_min) / self._log_base)
-        return min(max(i, 0), self.N_BUCKETS - 1)
+        i = bisect.bisect_right(self._EDGES, value) - 1
+        return min(i, self.N_BUCKETS - 1)
 
     def bucket_bounds(self, index: int) -> Tuple[float, float]:
-        """``[low, high)`` value bounds of bucket *index*."""
-        low = self.MIN_VALUE * self.BASE ** index
-        return low, low * self.BASE
+        """``[low, high)`` value bounds of bucket *index* — read from
+        the same edge table :meth:`bucket_of` bisects, so the two can
+        never disagree about which bucket owns a boundary."""
+        return self._EDGES[index], self._EDGES[index + 1]
 
     def record(self, value: float, count: int = 1) -> None:
         """Record *count* observations of *value* (seconds)."""
@@ -131,7 +144,20 @@ class LogHistogram:
             self.max = value
 
     def merge(self, other: "LogHistogram") -> None:
-        """Fold *other*'s observations into this histogram."""
+        """Fold *other*'s observations into this histogram.
+
+        Both sides must share the same bucket layout (same class
+        constants); merging histograms with different shapes would
+        silently misfile counts, so it raises instead.
+        """
+        if (len(other.counts) != len(self.counts)
+                or other.MIN_VALUE != self.MIN_VALUE
+                or other.BASE != self.BASE):
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts "
+                f"({len(other.counts)} buckets, base {other.BASE}, "
+                f"min {other.MIN_VALUE} vs {len(self.counts)}, "
+                f"{self.BASE}, {self.MIN_VALUE})")
         for i, n in enumerate(other.counts):
             self.counts[i] += n
         self.total += other.total
@@ -163,6 +189,17 @@ class LogHistogram:
                 return min(max(mid, self.min), self.max)
         return self.max if self.max is not None else 0.0  # pragma: no cover
 
+    def quantile(self, q: float) -> float:
+        """Approximate q-th quantile for ``0 < q <= 1``.
+
+        The fraction-spelled twin of :meth:`percentile` (``quantile(0.99)
+        == percentile(99.0)``), for callers that carry quantiles as
+        fractions (the load generator's latency reports).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        return self.percentile(q * 100.0)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly snapshot (sparse buckets + summary quantiles)."""
         return {
@@ -178,6 +215,12 @@ class LogHistogram:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<LogHistogram n={self.total} "
                 f"p50={self.percentile(50.0) if self.total else 0:.2g}s>")
+
+
+# The table lives outside the class body because a class-scope
+# comprehension cannot see class attributes (Python scoping).
+LogHistogram._EDGES = [LogHistogram.MIN_VALUE * LogHistogram.BASE ** i
+                       for i in range(LogHistogram.N_BUCKETS + 1)]
 
 
 class CounterRegistry:

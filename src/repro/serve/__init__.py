@@ -1,0 +1,32 @@
+"""Simulation-as-a-service: the async what-if API.
+
+The content-addressed result cache plus deterministic RunKeys make
+every sweep cell idempotent — exactly the shape of a cacheable web
+service.  This package stands that service up with nothing but the
+standard library:
+
+* :mod:`repro.serve.http` — a minimal asyncio HTTP/1.1 layer (parse,
+  respond, keep-alive, graceful drain).
+* :mod:`repro.serve.work` — the pure, picklable batch worker the
+  process pool runs; the only serve code that computes simulation
+  results, and therefore the only serve code under the DET003
+  wall-clock lint.
+* :mod:`repro.serve.service` — the core mechanics: request coalescing
+  keyed on the cache key, a sharded content-addressed cache with
+  single-flight fill, micro-batched admission into a bounded
+  ``ProcessPoolExecutor``, explicit backpressure (429 + Retry-After),
+  per-request timeouts (504) and graceful drain on SIGTERM.
+* :mod:`repro.serve.app` — the routes: ``POST /simulate``,
+  ``POST /sweep``, ``POST /compare``, ``GET /healthz``,
+  ``GET /metrics``.
+
+See ``docs/SERVICE.md`` for the API reference and design notes, and
+:mod:`repro.loadgen` for the load-generator harness that drives it.
+"""
+
+from .app import SimulationApp
+from .http import HTTPServer, Request, Response
+from .service import ServiceConfig, SimulationService
+
+__all__ = ["HTTPServer", "Request", "Response", "ServiceConfig",
+           "SimulationApp", "SimulationService"]

@@ -1,0 +1,346 @@
+"""Routes and payload schemas for the what-if API.
+
+Five endpoints (see ``docs/SERVICE.md`` for the full reference):
+
+* ``POST /simulate`` — one grid cell; body is RunKey fields.
+* ``POST /sweep``    — a grid; each RunKey field may be a list (axes).
+* ``POST /compare``  — "which machine should run this workload?";
+  simulates the described job on both machines and recommends by the
+  requested cost goal (EDP / ED2P / ED3P).
+* ``GET /healthz``   — liveness; 503 while draining.
+* ``GET /metrics``   — Prometheus text (or ``?format=json``).
+
+Every 200 body is canonical JSON (sorted keys, compact separators) and
+a pure function of the request body, so identical requests get
+byte-identical bodies whether they were computed, coalesced, or served
+from cache — the serving path is reported in the ``X-Repro-Source``
+header instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.presets import MACHINES
+from ..core.characterization import RunKey
+from ..core.metrics import edxp
+from ..mapreduce.driver import JobResult
+from ..obs import prof
+from ..workloads.base import all_workloads
+from .http import BadRequest, Request, Response
+from .service import (ComputeError, Draining, Overloaded, RequestTimeout,
+                      SimulationService)
+
+__all__ = ["SimulationApp", "parse_run_key", "result_payload"]
+
+#: RunKey fields accepted in request bodies, with (type, required).
+_KEY_FIELDS: Tuple[Tuple[str, type, bool], ...] = (
+    ("machine", str, True),
+    ("workload", str, True),
+    ("freq_ghz", float, False),
+    ("block_size_mb", float, False),
+    ("data_per_node_gb", float, False),
+    ("n_nodes", int, False),
+    ("cores_per_node", int, False),
+    ("map_slots_per_node", int, False),
+)
+_OPTIONAL_NONE = ("cores_per_node", "map_slots_per_node")
+
+_COMPARE_GOALS = {"EDP": 1, "ED2P": 2, "ED3P": 3}
+
+
+def _coerce(name: str, value, kind: type):
+    """Type-check one body field (strict: no bools-as-ints, no strings)."""
+    if kind is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BadRequest(f"{name} must be a number, got {value!r}")
+        value = float(value)
+        if value <= 0:
+            raise BadRequest(f"{name} must be positive, got {value!r}")
+        return value
+    if kind is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BadRequest(f"{name} must be an integer, got {value!r}")
+        if value < 1:
+            raise BadRequest(f"{name} must be >= 1, got {value!r}")
+        return value
+    if not isinstance(value, str):
+        raise BadRequest(f"{name} must be a string, got {value!r}")
+    return value
+
+
+def parse_run_key(doc: Dict[str, object],
+                  extra_allowed: Sequence[str] = ()) -> RunKey:
+    """Validate a request document into a :class:`RunKey` (400 on error)."""
+    if not isinstance(doc, dict):
+        raise BadRequest("body must be a JSON object")
+    known = {name for name, _, _ in _KEY_FIELDS}
+    unknown = sorted(set(doc) - known - set(extra_allowed))
+    if unknown:
+        raise BadRequest(f"unknown fields: {', '.join(unknown)}")
+    kwargs = {}
+    for name, kind, required in _KEY_FIELDS:
+        value = doc.get(name)
+        if value is None:
+            if required:
+                raise BadRequest(f"missing required field {name!r}")
+            continue
+        kwargs[name] = _coerce(name, value, kind)
+    if kwargs["machine"] not in MACHINES:
+        raise BadRequest(
+            f"unknown machine {kwargs['machine']!r}; "
+            f"available: {sorted(MACHINES)}")
+    if kwargs["workload"] not in all_workloads():
+        raise BadRequest(
+            f"unknown workload {kwargs['workload']!r}; "
+            f"available: {sorted(all_workloads())}")
+    return RunKey(**kwargs)
+
+
+def result_payload(key: RunKey, result: JobResult) -> Dict[str, object]:
+    """The stable response schema for one simulated cell."""
+    energy = result.dynamic_energy_j
+    delay = result.execution_time_s
+    return {
+        "machine": key.machine,
+        "workload": key.workload,
+        "freq_ghz": key.freq_ghz,
+        "block_size_mb": key.block_size_mb,
+        "data_per_node_gb": key.data_per_node_gb,
+        "n_nodes": key.n_nodes,
+        "cores_per_node": key.cores_per_node,
+        "map_slots_per_node": key.map_slots_per_node,
+        "execution_time_s": delay,
+        "dynamic_power_w": result.dynamic_power_w,
+        "dynamic_energy_j": energy,
+        "edp_js": edxp(energy, delay, 1),
+        "ed2p_js2": edxp(energy, delay, 2),
+        "ipc": result.ipc,
+        "phases": {
+            phase: {"seconds": result.phase_time(phase),
+                    "fraction": result.phase_fraction(phase)}
+            for phase in ("map", "reduce", "other")
+        },
+        "map_attempts": result.counters.map_attempts,
+        "reduce_attempts": result.counters.reduce_attempts,
+    }
+
+
+def _source_header(sources: Sequence[str]) -> Tuple[Tuple[str, str], ...]:
+    if len(sources) == 1:
+        return (("X-Repro-Source", sources[0]),)
+    tally = {}
+    for source in sources:
+        tally[source] = tally.get(source, 0) + 1
+    joined = ",".join(f"{name}={tally[name]}" for name in sorted(tally))
+    return (("X-Repro-Source", joined),)
+
+
+class SimulationApp:
+    """Maps HTTP requests onto one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService):
+        self.service = service
+        self._routes = {
+            ("POST", "/simulate"): self._simulate,
+            ("POST", "/sweep"): self._sweep,
+            ("POST", "/compare"): self._compare,
+            ("GET", "/healthz"): self._healthz,
+            ("GET", "/metrics"): self._metrics,
+        }
+
+    # -- entry point -------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        route = request.path
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            known_paths = {path for _m, path in self._routes}
+            if request.path in known_paths:
+                response = Response.error(
+                    405, f"{request.method} not allowed on {request.path}")
+            else:
+                response = Response.error(
+                    404, f"no such endpoint {request.path!r}")
+            self.service.stats.count_request(route, response.status)
+            return response
+        t0 = time.perf_counter()
+        profiler = prof.ACTIVE
+        try:
+            if profiler is not None:
+                with profiler.phase(f"serve.handle{route}"):
+                    response = await handler(request)
+            else:
+                response = await handler(request)
+        except BadRequest as exc:
+            response = Response.error(exc.status, str(exc))
+        except Overloaded as exc:
+            response = Response.error(
+                429, str(exc),
+                headers=(("Retry-After",
+                          str(self.service.config.retry_after_s)),))
+        except Draining as exc:
+            response = Response.error(
+                503, str(exc),
+                headers=(("Retry-After",
+                          str(self.service.config.retry_after_s)),))
+        except RequestTimeout as exc:
+            response = Response.error(504, str(exc))
+        except ComputeError as exc:
+            if isinstance(exc.cause, (ValueError, KeyError)):
+                response = Response.error(400, str(exc))
+            else:
+                response = Response.error(500, str(exc))
+        self.service.stats.count_request(route, response.status)
+        self.service.stats.observe_latency(route,
+                                           time.perf_counter() - t0)
+        return response
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _simulate(self, request: Request) -> Response:
+        key = parse_run_key(request.json_body())
+        result, source = await self.service.submit(key)
+        return Response.json({"result": result_payload(key, result)},
+                             headers=_source_header([source]))
+
+    async def _sweep(self, request: Request) -> Response:
+        doc = request.json_body()
+        if not isinstance(doc, dict):
+            raise BadRequest("body must be a JSON object")
+        keys = self._expand_axes(doc)
+        limit = self.service.config.max_sweep_cells
+        if len(keys) > limit:
+            raise BadRequest(
+                f"sweep of {len(keys)} cells exceeds the per-request "
+                f"limit of {limit}", status=413)
+        outcomes = await self.service.submit_many(keys)
+        rows = [result_payload(key, result)
+                for key, (result, _source) in zip(keys, outcomes)]
+        return Response.json(
+            {"cells": len(rows), "results": rows},
+            headers=_source_header([source for _r, source in outcomes]))
+
+    def _expand_axes(self, doc: Dict[str, object]) -> List[RunKey]:
+        """Cartesian product of list-valued fields, in field order."""
+        known = {name for name, _, _ in _KEY_FIELDS}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise BadRequest(f"unknown fields: {', '.join(unknown)}")
+        cells: List[Dict[str, object]] = [{}]
+        for name, _kind, _required in _KEY_FIELDS:
+            if name not in doc:
+                continue
+            values = doc[name]
+            if not isinstance(values, list):
+                values = [values]
+            if not values:
+                raise BadRequest(f"axis {name!r} is empty")
+            cells = [dict(cell, **{name: value})
+                     for cell in cells for value in values]
+        return [parse_run_key(cell) for cell in cells]
+
+    async def _compare(self, request: Request) -> Response:
+        doc = request.json_body()
+        if not isinstance(doc, dict):
+            raise BadRequest("body must be a JSON object")
+        goal = doc.pop("goal", "EDP")
+        if goal not in _COMPARE_GOALS:
+            raise BadRequest(
+                f"unknown goal {goal!r}; available: "
+                f"{sorted(_COMPARE_GOALS)}")
+        if "machine" in doc:
+            raise BadRequest(
+                "compare picks the machine; do not pass one")
+        exponent = _COMPARE_GOALS[goal]
+        machines = sorted(MACHINES)
+        keys = [parse_run_key(dict(doc, machine=machine))
+                for machine in machines]
+        outcomes = await self.service.submit_many(keys)
+        candidates: Dict[str, Dict[str, object]] = {}
+        costs: Dict[str, float] = {}
+        for key, (result, _source) in zip(keys, outcomes):
+            payload = result_payload(key, result)
+            cost = edxp(result.dynamic_energy_j,
+                        result.execution_time_s, exponent)
+            payload["cost"] = cost
+            candidates[key.machine] = payload
+            costs[key.machine] = cost
+        winner = min(machines, key=lambda m: (costs[m], m))
+        others = [m for m in machines if m != winner]
+        runner_up = min(others, key=lambda m: (costs[m], m))
+        ratio = (costs[winner] / costs[runner_up]
+                 if costs[runner_up] else 0.0)
+        body = {
+            "workload": doc.get("workload"),
+            "goal": goal,
+            "candidates": candidates,
+            "winner": winner,
+            "cost_ratio_winner_over_runner_up": ratio,
+            "recommendation": (
+                f"{winner} wins on {goal}: {costs[winner]:.4g} vs "
+                f"{costs[runner_up]:.4g} for {runner_up} "
+                f"({ratio:.3g}x)"),
+        }
+        return Response.json(
+            body,
+            headers=_source_header([source for _r, source in outcomes]))
+
+    async def _healthz(self, request: Request) -> Response:
+        if self.service.draining:
+            return Response.json({"status": "draining"}, status=503)
+        return Response.json({
+            "status": "ok",
+            "workers": self.service.config.workers,
+            "inflight_cells": self.service.inflight_cells,
+            "uptime_s": round(time.time() - self.service.stats.started_at,
+                              3),
+        })
+
+    async def _metrics(self, request: Request) -> Response:
+        stats = self.service.stats
+        cache = self.service.cache
+        snapshot = {
+            "coalesced_total": stats.coalesced_total,
+            "shed_total": stats.shed_total,
+            "timeout_total": stats.timeout_total,
+            "executor_submissions_total": stats.executor_submissions,
+            "executor_cells_total": stats.executor_cells,
+            "cache_hits_total": cache.hits if cache else 0,
+            "cache_misses_total": cache.misses if cache else 0,
+            "cache_stores_total": cache.stores if cache else 0,
+            "cache_corrupt_total": cache.corrupt if cache else 0,
+            "inflight_cells": self.service.inflight_cells,
+            "uptime_seconds": time.time() - stats.started_at,
+        }
+        if request.query.get("format") == "json":
+            payload = dict(snapshot)
+            payload["requests_total"] = {
+                f"{route} {status}": count
+                for (route, status), count in
+                sorted(stats.requests_total.items())
+            }
+            payload["latency"] = {
+                route: hist.to_dict()
+                for route, hist in sorted(stats.latency.items())
+            }
+            return Response.json(payload)
+        lines = []
+        for name, value in snapshot.items():
+            lines.append(f"repro_{name} {value}")
+        for (route, status), count in sorted(stats.requests_total.items()):
+            lines.append(
+                f'repro_requests_total{{route="{route}",'
+                f'status="{status}"}} {count}')
+        for route, hist in sorted(stats.latency.items()):
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'repro_request_latency_seconds{{route="{route}",'
+                    f'quantile="{q}"}} {hist.quantile(q)}')
+            lines.append(
+                f'repro_request_latency_seconds_count{{route="{route}"}} '
+                f'{hist.total}')
+        return Response(status=200, body=("\n".join(lines) + "\n")
+                        .encode("utf-8"),
+                        content_type="text/plain; version=0.0.4")

@@ -1,0 +1,379 @@
+"""Core service mechanics: coalescing, batching, backpressure, drain.
+
+The what-if API is a thin traffic layer over one pure function
+(:func:`repro.core.characterization.simulate_cell`).  Because a cell's
+result is fully determined by its :func:`~repro.analysis.executor.cache_key`,
+the service can be aggressive about sharing work:
+
+* **Request coalescing** — identical in-flight requests await one
+  shared future; only the first admission reaches the process pool.
+* **Single-flight cache fill** — the coalescing map doubles as the
+  single-flight latch: between a cache miss and the result landing on
+  disk, every identical request joins the in-flight future instead of
+  re-probing (and re-filling) the cache.
+* **Sharded cache namespace** — entries spread over ``shards``
+  subdirectory shards of the PR 1 content-addressed cache, so thousands
+  of concurrent fills never pile every entry into one directory.
+* **Micro-batched admission** — admitted cells queue once; each of the
+  ``workers`` drain loops grabs everything immediately available (up to
+  ``batch_max``) and ships it to the pool as **one** submission,
+  amortizing the pickle/IPC round-trip under load.
+* **Backpressure** — admission is bounded by ``queue_limit`` cells;
+  beyond it requests are shed with 429 + ``Retry-After`` instead of
+  growing an unbounded queue.  Waiters are bounded by
+  ``request_timeout_s`` (504); the computation itself is never
+  cancelled, so a timed-out cell still lands in the cache for the
+  retry.
+* **Graceful drain** — on SIGTERM the service stops admitting (503),
+  lets in-flight cells finish, persists them, then shuts the pool down.
+
+Wall-clock use in this module is deliberate and sanctioned: latency and
+uptime are host-side observables.  Simulation results are only computed
+in :mod:`repro.serve.work`, which is wall-clock-free and lint-enforced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.executor import ResultCache, cache_key, model_fingerprint
+from ..core.characterization import RunKey
+from ..mapreduce.config import DEFAULT_CONF, JobConf
+from ..mapreduce.driver import JobResult
+from ..obs import prof
+from ..obs.metrics import LogHistogram
+from .work import simulate_batch
+
+__all__ = ["ComputeError", "Overloaded", "RequestTimeout", "Draining",
+           "ServiceConfig", "ServiceStats", "ShardedResultCache",
+           "SimulationService"]
+
+
+class Overloaded(Exception):
+    """Admission queue full; the caller should retry later (429)."""
+
+
+class RequestTimeout(Exception):
+    """The waiter's deadline passed; the computation continues (504)."""
+
+
+class Draining(Exception):
+    """The service is shutting down and admits no new work (503)."""
+
+
+class ComputeError(Exception):
+    """A worker failed to simulate a cell; carries the original cause."""
+
+    def __init__(self, key: RunKey, cause: BaseException):
+        super().__init__(f"simulation failed for [{key.describe()}]: {cause}")
+        self.key = key
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one service instance (all bounded by construction)."""
+
+    workers: int = 2                 #: process-pool width = max concurrent batches
+    queue_limit: int = 128           #: max admitted cells (queued + executing)
+    request_timeout_s: float = 30.0  #: per-waiter deadline -> 504
+    batch_max: int = 8               #: max cells per executor submission
+    shards: int = 8                  #: cache namespace shards
+    cache_dir: Optional[str] = None  #: None = default cache dir
+    no_cache: bool = False           #: disable the persistent cache
+    drain_timeout_s: float = 10.0    #: grace period for SIGTERM drain
+    max_sweep_cells: int = 256       #: per-request sweep grid cap -> 413
+    retry_after_s: int = 1           #: Retry-After hint on 429/503
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+
+
+class ShardedResultCache:
+    """The PR 1 content-addressed cache spread over directory shards.
+
+    Each shard is a full :class:`ResultCache` rooted at
+    ``<path>/shard-XX``; a key's shard is its hash prefix modulo the
+    shard count, so the mapping is stable across restarts and processes.
+    Sharding keeps per-directory entry counts (and the rename traffic of
+    thousands of concurrent single-flight fills) bounded.
+    """
+
+    def __init__(self, path: Optional[str] = None, shards: int = 8):
+        fingerprint = model_fingerprint()
+        from ..analysis.executor import default_cache_dir
+        root = default_cache_dir() if path is None else path
+        self.shards: List[ResultCache] = [
+            ResultCache(f"{root}/shard-{i:02d}", fingerprint=fingerprint)
+            for i in range(shards)
+        ]
+
+    def shard_for(self, key_hex: str) -> ResultCache:
+        return self.shards[int(key_hex[:8], 16) % len(self.shards)]
+
+    def get(self, key_hex: str, key: RunKey,
+            conf: JobConf) -> Optional[JobResult]:
+        return self.shard_for(key_hex).get(key, conf)
+
+    def put(self, key_hex: str, key: RunKey, conf: JobConf,
+            result: JobResult) -> None:
+        self.shard_for(key_hex).put(key, conf, result)
+
+    def reap_orphans(self) -> int:
+        return sum(s.reap_orphans() for s in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.shards)
+
+    @property
+    def stores(self) -> int:
+        return sum(s.stores for s in self.shards)
+
+    @property
+    def corrupt(self) -> int:
+        return sum(s.corrupt for s in self.shards)
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters + latency histograms for ``/metrics``."""
+
+    started_at: float = field(default_factory=time.time)
+    requests_total: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    coalesced_total: int = 0
+    shed_total: int = 0
+    timeout_total: int = 0
+    executor_submissions: int = 0
+    executor_cells: int = 0
+    latency: Dict[str, LogHistogram] = field(default_factory=dict)
+
+    def count_request(self, route: str, status: int) -> None:
+        key = (route, status)
+        self.requests_total[key] = self.requests_total.get(key, 0) + 1
+
+    def observe_latency(self, route: str, seconds: float) -> None:
+        hist = self.latency.get(route)
+        if hist is None:
+            hist = self.latency[route] = LogHistogram()
+        hist.record(seconds)
+
+
+class SimulationService:
+    """Owns the pool, the coalescing map, the cache, and the counters.
+
+    Lifecycle: ``await start()`` → ``await submit(...)`` from any number
+    of concurrent handlers → ``await drain()`` (graceful) or
+    ``await stop()`` (immediate).
+    """
+
+    def __init__(self, config: ServiceConfig = ServiceConfig(),
+                 conf: JobConf = DEFAULT_CONF):
+        self.config = config
+        self.conf = conf
+        self.stats = ServiceStats()
+        self.cache: Optional[ShardedResultCache] = None
+        if not config.no_cache:
+            self.cache = ShardedResultCache(config.cache_dir, config.shards)
+        self.draining = False
+        self._pool = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._admitted = 0
+        self._queue: "asyncio.Queue[Tuple[str, RunKey]]" = asyncio.Queue()
+        self._drainers: List[asyncio.Task] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+        self._loop = asyncio.get_running_loop()
+        if self.cache is not None:
+            self.cache.reap_orphans()
+        self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        self._drainers = [
+            asyncio.ensure_future(self._drain_loop())
+            for _ in range(self.config.workers)
+        ]
+
+    async def drain(self) -> None:
+        """Stop admitting, finish in-flight cells, then shut the pool."""
+        self.draining = True
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while (self._admitted or not self._queue.empty()) \
+                and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        await self.stop()
+
+    async def stop(self) -> None:
+        self.draining = True
+        for task in self._drainers:
+            task.cancel()
+        if self._drainers:
+            await asyncio.gather(*self._drainers, return_exceptions=True)
+        self._drainers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.set_exception(Draining("service stopped"))
+                fut.exception()          # mark retrieved
+        self._inflight.clear()
+
+    # -- admission ---------------------------------------------------------
+
+    @property
+    def inflight_cells(self) -> int:
+        """Cells admitted and not yet completed (queued + executing)."""
+        return self._admitted
+
+    async def submit(self, key: RunKey) -> Tuple[JobResult, str]:
+        """Resolve one cell; returns ``(result, source)``.
+
+        ``source`` is ``"cache"``, ``"computed"`` or ``"coalesced"`` —
+        reported in a response *header*, never the body, so identical
+        requests keep byte-identical bodies whatever path served them.
+
+        Raises :class:`Overloaded`, :class:`RequestTimeout`,
+        :class:`Draining` or :class:`ComputeError`.
+        """
+        # NOTE: everything from the coalescing probe to enqueueing is
+        # await-free, so the check-then-register sequence is atomic
+        # under the event loop — two racing identical requests can
+        # never both become the single flight.
+        key_hex = cache_key(key, self.conf)
+        existing = self._inflight.get(key_hex)
+        if existing is not None:
+            self.stats.coalesced_total += 1
+            return await self._await_result(existing), "coalesced"
+
+        if self.cache is not None:
+            profiler = prof.ACTIVE
+            if profiler is not None:
+                with profiler.phase("serve.cache.get"):
+                    hit = self.cache.get(key_hex, key, self.conf)
+            else:
+                hit = self.cache.get(key_hex, key, self.conf)
+            if hit is not None:
+                return hit, "cache"
+
+        if self.draining:
+            raise Draining("service is draining")
+        if self._admitted >= self.config.queue_limit:
+            self.stats.shed_total += 1
+            raise Overloaded(
+                f"admission queue full ({self.config.queue_limit} cells)")
+
+        assert self._loop is not None, "service not started"
+        future: asyncio.Future = self._loop.create_future()
+        # Swallow "exception never retrieved" when every waiter timed
+        # out before the worker failed; the error is still surfaced to
+        # any waiter that is left.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self._inflight[key_hex] = future
+        self._admitted += 1
+        self._queue.put_nowait((key_hex, key))
+        return await self._await_result(future), "computed"
+
+    async def _await_result(self, future: asyncio.Future) -> JobResult:
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.config.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.timeout_total += 1
+            raise RequestTimeout(
+                f"no result within {self.config.request_timeout_s:g}s "
+                f"(the computation continues; retry to pick it up from "
+                f"the cache)") from None
+
+    async def submit_many(self, keys: Sequence[RunKey]
+                          ) -> List[Tuple[JobResult, str]]:
+        """Resolve a batch of cells concurrently (sweep / compare).
+
+        Sheds the whole request if any cell is shed: partial sweep
+        results are worse than an honest 429, and the already-admitted
+        sibling cells still complete and land in the cache, so the
+        retry is cheap.
+        """
+        outcomes = await asyncio.gather(
+            *(self.submit(key) for key in keys), return_exceptions=True)
+        for cls in (Overloaded, Draining, RequestTimeout):
+            for outcome in outcomes:
+                if isinstance(outcome, cls):
+                    raise outcome
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
+
+    # -- the pool-facing side ---------------------------------------------
+
+    async def _drain_loop(self) -> None:
+        """One of ``workers`` loops: admit a micro-batch, run it, fan out."""
+        assert self._loop is not None
+        while True:
+            key_hex, key = await self._queue.get()
+            batch: List[Tuple[str, RunKey]] = [(key_hex, key)]
+            while len(batch) < self.config.batch_max:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.stats.executor_submissions += 1
+            self.stats.executor_cells += len(batch)
+            profiler = prof.ACTIVE
+            t0 = time.perf_counter() if profiler is not None else 0.0
+            try:
+                pairs = await self._loop.run_in_executor(
+                    self._pool, simulate_batch,
+                    tuple(k for _, k in batch), self.conf)
+            except asyncio.CancelledError:
+                self._fail_batch(batch, Draining("service stopped"))
+                raise
+            except Exception as exc:
+                # One bad cell poisons its whole batch; per-cell blame
+                # would need per-cell submissions, which defeats
+                # batching.  Validation upstream keeps this path rare.
+                self._fail_batch(
+                    batch, exc if isinstance(exc, ComputeError)
+                    else ComputeError(batch[0][1], exc))
+            else:
+                if profiler is not None:
+                    profiler.record("serve.executor.batch",
+                                    time.perf_counter() - t0)
+                for (k_hex, k), (_key, result) in zip(batch, pairs):
+                    if self.cache is not None:
+                        try:
+                            self.cache.put(k_hex, k, self.conf, result)
+                        except OSError:
+                            pass      # cache write failure is not a 5xx
+                    future = self._inflight.pop(k_hex, None)
+                    self._admitted -= 1
+                    if future is not None and not future.done():
+                        future.set_result(result)
+
+    def _fail_batch(self, batch: Sequence[Tuple[str, RunKey]],
+                    exc: BaseException) -> None:
+        for k_hex, _k in batch:
+            future = self._inflight.pop(k_hex, None)
+            self._admitted -= 1
+            if future is not None and not future.done():
+                future.set_exception(exc)

@@ -234,11 +234,20 @@ class TestProfilerOverhead:
         equivalent of the original 5%-of-slow-engine bar to ~10% of the
         fast one; the absolute guard (about 2 ms on this workload) is
         unchanged.
+
+        Interleaving defends against drift but not against a noise
+        burst that spans one whole measurement (a few hundred ms on a
+        shared 1-CPU runner), so the check retries up to three times: a
+        real instrumentation regression fails every attempt, a burst
+        fails at most one.
         """
-        ctx = make_context()
-        try:
-            metrics = profiler_overhead(ctx)
-        finally:
-            cleanup_context(ctx)
-        assert metrics["baseline_s"] > 0
+        for attempt in range(3):
+            ctx = make_context()
+            try:
+                metrics = profiler_overhead(ctx)
+            finally:
+                cleanup_context(ctx)
+            assert metrics["baseline_s"] > 0
+            if metrics["overhead_pct"] < 10.0:
+                break
         assert metrics["overhead_pct"] < 10.0

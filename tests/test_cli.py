@@ -237,3 +237,61 @@ class TestDatacenterCommand:
         code = main(["datacenter", "--trace", str(trace), "--no-cache"])
         assert code == 2
         assert "header" in capsys.readouterr().err
+
+
+class TestServeLoadtestCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8008
+        assert args.workers == 2 and args.queue_limit == 128
+        assert args.no_cache is False
+
+    def test_loadtest_parser_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.requests == 200 and args.concurrency == 32
+        assert args.seed == 0 and args.mode == "closed"
+        assert args.spawn is False and args.dry_run is False
+
+    def test_serve_rejects_bad_config(self, capsys):
+        code = main(["serve", "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_loadtest_dry_run_is_deterministic(self, capsys):
+        assert main(["loadtest", "--dry-run", "--seed", "9",
+                     "--requests", "20"]) == 0
+        first = capsys.readouterr().out
+        assert main(["loadtest", "--dry-run", "--seed", "9",
+                     "--requests", "20"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert len(first.splitlines()) == 20
+        assert main(["loadtest", "--dry-run", "--seed", "10",
+                     "--requests", "20"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_loadtest_spawn_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["loadtest", "--spawn", "--requests", "16",
+                     "--concurrency", "8", "--seed", "3",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out),
+                     "--require-cache-hits", "0"])
+        assert code == 0, capsys.readouterr().err
+        text = capsys.readouterr().out
+        assert "latency p50/p95/p99" in text
+        assert out.exists()
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["report"]["requests"] == 16
+        assert payload["report"]["errors"] == 0
+        assert payload["config"]["seed"] == 3
+
+    def test_loadtest_unreachable_server_fails_cleanly(self, capsys):
+        # Nothing listens on this port: every request is a transport
+        # error, which must exit 1 (gate) without a traceback.
+        code = main(["loadtest", "--host", "127.0.0.1", "--port", "1",
+                     "--requests", "2", "--concurrency", "1",
+                     "--timeout", "2"])
+        assert code == 1
+        assert "errors" in capsys.readouterr().err

@@ -75,6 +75,49 @@ class TestResultCache:
         entry.write_bytes(b"not a pickle")
         assert cache.get(KEY) is None
         assert not entry.exists()  # dropped, will be re-simulated
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_wrong_type_pickle_is_dropped(self, cache):
+        # A readable pickle that is not a JobResult (foreign writer,
+        # stale schema) must never masquerade as a cell result.
+        entry = cache._entry(KEY, DEFAULT_CONF)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(pickle.dumps({"execution_time_s": 1.0}))
+        assert cache.get(KEY) is None
+        assert not entry.exists()
+        assert cache.corrupt == 1
+
+    def test_corrupt_entry_is_rewritten_on_next_put(self, cache):
+        fresh = simulate_cell(KEY)
+        entry = cache._entry(KEY, DEFAULT_CONF)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        entry.write_bytes(b"\x80garbage")
+        assert cache.get(KEY) is None
+        cache.put(KEY, DEFAULT_CONF, fresh)
+        assert cache.get(KEY) == fresh
+
+    def test_put_leaves_no_tmp_files_behind(self, cache):
+        cache.put(KEY, DEFAULT_CONF, simulate_cell(KEY))
+        cache.put(KEY, DEFAULT_CONF, simulate_cell(KEY))  # overwrite path
+        assert list(cache.path.rglob("*.tmp")) == []
+        assert cache.stats().entries == 1
+
+    def test_reap_orphans_deletes_only_aged_tmp_files(self, cache):
+        import os
+        cache.put(KEY, DEFAULT_CONF, simulate_cell(KEY))
+        bucket = cache._bucket
+        old = bucket / "dead-writer.tmp"
+        old.write_bytes(b"partial")
+        os.utime(old, (1, 1))                      # ancient mtime
+        fresh = bucket / "live-writer.tmp"
+        fresh.write_bytes(b"partial")              # now-ish mtime
+        assert cache.reap_orphans(max_age_s=300.0) == 1
+        assert not old.exists() and fresh.exists()
+        assert cache.get(KEY) is not None          # entries untouched
+
+    def test_reap_orphans_on_missing_dir_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.reap_orphans() == 0
 
     def test_clear(self, cache):
         result = simulate_cell(KEY)

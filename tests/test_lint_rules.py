@@ -121,6 +121,28 @@ class TestDET003WallClock:
             t0 = time.time()
             """, relpath="src/repro/bench/example.py")
 
+    def test_positive_serve_pool_worker(self):
+        # The one file in serve/ that computes simulation results is
+        # held to the model bar.
+        assert hits("DET003", """\
+            import time
+            t0 = time.time()
+            """, relpath="src/repro/serve/work.py")
+
+    def test_positive_loadgen_generator(self):
+        # Trace generation must be seed-deterministic, so no host clock.
+        assert hits("DET003", """\
+            import time
+            t0 = time.time()
+            """, relpath="src/repro/loadgen/generator.py")
+
+    def test_negative_serve_traffic_layer(self):
+        # Latency/uptime accounting in the service itself is sanctioned.
+        assert not hits("DET003", """\
+            import time
+            t0 = time.time()
+            """, relpath="src/repro/serve/service.py")
+
     def test_negative_sim_now(self):
         assert not hits("DET003", "t = self.sim.now\n", relpath=SIM)
 
@@ -231,6 +253,19 @@ class TestPURE001ImpureModelCode:
             def service_time(size_bytes, bw):
                 return size_bytes / bw
             """, relpath=SIM)
+
+    def test_positive_serve_pool_worker(self):
+        assert hits("PURE001", """\
+            def simulate_batch(keys):
+                print(keys)
+            """, relpath="src/repro/serve/work.py")
+
+    def test_negative_serve_traffic_layer(self):
+        # The HTTP/service layer talks to sockets by definition.
+        assert not hits("PURE001", """\
+            import socket
+            s = socket.create_connection(("localhost", 80))
+            """, relpath="src/repro/serve/http.py")
 
 
 class TestOBS001UnguardedHandle:

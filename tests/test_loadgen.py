@@ -1,0 +1,135 @@
+"""Load-generator tests: trace determinism, mixing, and end-to-end replay.
+
+The end-to-end test boots a real serve stack in-process and replays a
+small seeded trace against it — the miniature of the CI serve-smoke job.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.loadgen.client import run_load
+from repro.loadgen.generator import (LoadConfig, build_trace, trace_lines,
+                                     unique_bodies)
+from repro.serve.run import start_stack, stop_stack
+from repro.serve.service import ServiceConfig
+
+
+class TestTraceDeterminism:
+    def test_same_seed_yields_identical_trace(self):
+        config = LoadConfig(seed=7, n_requests=50)
+        assert trace_lines(build_trace(config)) == \
+            trace_lines(build_trace(config))
+
+    def test_different_seeds_differ(self):
+        a = trace_lines(build_trace(LoadConfig(seed=1, n_requests=50)))
+        b = trace_lines(build_trace(LoadConfig(seed=2, n_requests=50)))
+        assert a != b
+
+    def test_trace_is_stable_golden(self):
+        # Pin one entry byte-for-byte: any change to the draw scheme is
+        # a breaking change for recorded experiments and must be loud.
+        q = build_trace(LoadConfig(seed=0, n_requests=1))[0]
+        assert q.index == 0 and q.offset_s == 0.0 and q.method == "POST"
+        assert q.path in ("/simulate", "/compare")
+        doc = json.loads(q.body)
+        assert doc["n_nodes"] == 3
+        assert q.body == json.dumps(doc, sort_keys=True,
+                                    separators=(",", ":"))
+
+    def test_bodies_are_canonical_json(self):
+        for q in build_trace(LoadConfig(seed=3, n_requests=40)):
+            assert q.body == json.dumps(json.loads(q.body),
+                                        sort_keys=True,
+                                        separators=(",", ":"))
+
+
+class TestTraceShape:
+    def test_compare_fraction_extremes(self):
+        all_compare = build_trace(LoadConfig(seed=0, n_requests=30,
+                                             compare_fraction=1.0))
+        assert {q.path for q in all_compare} == {"/compare"}
+        all_simulate = build_trace(LoadConfig(seed=0, n_requests=30,
+                                              compare_fraction=0.0))
+        assert {q.path for q in all_simulate} == {"/simulate"}
+
+    def test_compare_bodies_have_goal_but_no_machine(self):
+        for q in build_trace(LoadConfig(seed=0, n_requests=60)):
+            doc = json.loads(q.body)
+            if q.path == "/compare":
+                assert "goal" in doc and "machine" not in doc
+            else:
+                assert "machine" in doc and "goal" not in doc
+
+    def test_workload_weights_skew_the_mix(self):
+        config = LoadConfig(seed=0, n_requests=200,
+                            workloads=("wordcount", "terasort"),
+                            workload_weights=(9.0, 1.0))
+        counts = {"wordcount": 0, "terasort": 0}
+        for q in build_trace(config):
+            counts[json.loads(q.body)["workload"]] += 1
+        assert counts["wordcount"] > counts["terasort"] * 3
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LoadConfig(workloads=("a", "b"), workload_weights=(1.0,))
+
+    def test_open_loop_offsets_increase(self):
+        trace = build_trace(LoadConfig(seed=4, n_requests=50, mode="open",
+                                       rate_per_s=100.0))
+        offsets = [q.offset_s for q in trace]
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+        # mean gap ~ 1/rate; allow generous slack for 50 samples
+        assert 0.2 < offsets[-1] / (50 / 100.0) < 3.0
+
+    def test_closed_loop_offsets_are_zero(self):
+        trace = build_trace(LoadConfig(seed=4, n_requests=20))
+        assert {q.offset_s for q in trace} == {0.0}
+
+    def test_key_space_is_small_and_repetitive(self):
+        trace = build_trace(LoadConfig(seed=0, n_requests=200))
+        assert unique_bodies(trace) < len(trace) // 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadConfig(mode="sideways")
+        with pytest.raises(ValueError):
+            LoadConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            LoadConfig(compare_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadConfig(mode="open", rate_per_s=0.0)
+
+
+class TestEndToEnd:
+    def test_seeded_replay_has_zero_errors_and_coalesces(self, tmp_path):
+        # Tiny key space (3 distinct bodies) + burst concurrency: the
+        # first wave necessarily contains in-flight duplicates, so
+        # coalescing must fire before anything completes.
+        load = LoadConfig(seed=11, n_requests=24, compare_fraction=0.5,
+                          workloads=("wordcount",), freqs_ghz=(1.8,),
+                          sizes_gb=(0.05,), n_nodes=2, goals=("EDP",))
+        trace = build_trace(load)
+        assert unique_bodies(trace) <= 3
+
+        async def main():
+            handle = await start_stack(ServiceConfig(
+                workers=2, shards=2, cache_dir=str(tmp_path / "cache")))
+            try:
+                return await run_load(handle.host, handle.port, trace,
+                                      concurrency=12, timeout_s=60.0)
+            finally:
+                await stop_stack(handle, graceful=True)
+
+        report = asyncio.run(main())
+        assert report.requests == 24
+        assert report.errors == 0
+        assert report.ok + report.shed + report.unavailable == 24
+        assert report.mismatches == 0
+        assert report.coalesced >= 1
+        assert report.cache_hits >= 1
+        assert report.latency.total == report.requests
+        payload = report.to_dict()
+        assert payload["qps"] > 0
+        assert payload["key_space"] == unique_bodies(trace)

@@ -1,0 +1,169 @@
+"""HTTP-layer tests: parsing, canonical responses, keep-alive, errors."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (BadRequest, HTTPServer, Request, Response,
+                              read_request)
+
+
+def _parse(data: bytes):
+    async def main():
+        reader = asyncio.StreamReader()   # needs a running event loop
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+    return asyncio.run(main())
+
+
+class TestReadRequest:
+    def test_basic_post(self):
+        req = _parse(b"POST /simulate?x=1 HTTP/1.1\r\n"
+                     b"Host: h\r\nContent-Length: 2\r\n\r\n{}")
+        assert req.method == "POST"
+        assert req.path == "/simulate"
+        assert req.query == {"x": "1"}
+        assert req.body == b"{}"
+        assert req.headers["host"] == "h"
+
+    def test_get_without_body(self):
+        req = _parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.body == b""
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_raises(self):
+        with pytest.raises(BadRequest):
+            _parse(b"POST /simulate HTT")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(BadRequest):
+            _parse(b"BANANAS\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(BadRequest):
+            _parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(BadRequest):
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_negative_content_length(self):
+        with pytest.raises(BadRequest):
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n")
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(BadRequest) as err:
+            _parse(b"POST / HTTP/1.1\r\n"
+                   b"Content-Length: 99999999\r\n\r\n")
+        assert err.value.status == 413
+
+    def test_truncated_body(self):
+        with pytest.raises(BadRequest):
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_chunked_rejected_as_501(self):
+        with pytest.raises(BadRequest) as err:
+            _parse(b"POST / HTTP/1.1\r\n"
+                   b"Transfer-Encoding: chunked\r\n\r\n")
+        assert err.value.status == 501
+
+    def test_json_body_helper(self):
+        req = Request("POST", "/x", {}, {}, b'{"a": 1}')
+        assert req.json_body() == {"a": 1}
+        bad = Request("POST", "/x", {}, {}, b"{nope")
+        with pytest.raises(BadRequest):
+            bad.json_body()
+
+
+class TestResponse:
+    def test_canonical_json_is_sorted_and_compact(self):
+        r = Response.json({"b": 1, "a": [1, 2]})
+        assert r.body == b'{"a":[1,2],"b":1}'
+
+    def test_encode_roundtrip(self):
+        raw = Response.json({"x": 1}).encode(keep_alive=True)
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 7\r\n" in raw
+        assert b"Connection: keep-alive" in raw
+        assert raw.endswith(b'{"x":1}')
+
+    def test_error_body_carries_status(self):
+        r = Response.error(429, "slow down",
+                           headers=(("Retry-After", "1"),))
+        payload = json.loads(r.body)
+        assert payload["status"] == 429
+        assert ("Retry-After", "1") in r.headers
+
+
+class TestServer:
+    """Round-trips over a real loopback socket."""
+
+    def _run(self, handler, client):
+        async def main():
+            server = HTTPServer(handler)
+            port = await server.start("127.0.0.1", 0)
+            try:
+                return await client(port)
+            finally:
+                await server.close()
+        return asyncio.run(main())
+
+    def test_echo_and_keep_alive(self):
+        async def handler(request):
+            return Response.json({"path": request.path})
+
+        async def client(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            out = []
+            for path in ("/a", "/b"):           # same connection, twice
+                writer.write(f"GET {path} HTTP/1.1\r\n\r\n"
+                             .encode("ascii"))
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                length = int([ln.split(b":")[1] for ln in
+                              head.split(b"\r\n")
+                              if ln.lower().startswith(b"content-length")
+                              ][0])
+                out.append(json.loads(await reader.readexactly(length)))
+            writer.close()
+            return out
+
+        assert self._run(handler, client) == [{"path": "/a"},
+                                              {"path": "/b"}]
+
+    def test_handler_exception_maps_to_500(self):
+        async def handler(request):
+            raise RuntimeError("boom")
+
+        async def client(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            writer.write(b"GET / HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            status = (await reader.readline()).split(b" ")[1]
+            writer.close()
+            return status
+
+        assert self._run(handler, client) == b"500"
+
+    def test_malformed_request_gets_400_and_close(self):
+        async def handler(request):  # pragma: no cover - never reached
+            return Response.json({})
+
+        async def client(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           port)
+            writer.write(b"NOT A REQUEST\r\n\r\n")
+            await writer.drain()
+            status = (await reader.readline()).split(b" ")[1]
+            writer.close()
+            return status
+
+        assert self._run(handler, client) == b"400"

@@ -1,0 +1,443 @@
+"""Service + app tests: coalescing, backpressure, drain, endpoints.
+
+All async tests run under ``asyncio.run`` in plain functions (CI has no
+pytest-asyncio).  Deterministic coalescing assertions use the service
+API directly — inside one event loop, tasks created together all pass
+the coalescing probe before the drain loop gets a turn, so the outcome
+does not depend on host timing.  HTTP-level tests ride a real loopback
+server via :func:`repro.serve.run.start_stack`.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.analysis.executor import cache_key
+from repro.core.characterization import RunKey, simulate_cell
+from repro.core.metrics import edxp
+from repro.loadgen.client import _Connection
+from repro.serve.run import start_stack, stop_stack
+from repro.serve.service import (Draining, Overloaded, RequestTimeout,
+                                 ServiceConfig, SimulationService)
+
+# A deliberately tiny cell so pool round-trips stay in the tens of ms.
+KEY = RunKey(machine="atom", workload="wordcount", freq_ghz=1.2,
+             data_per_node_gb=0.05, n_nodes=2)
+BODY = json.dumps({"machine": "atom", "workload": "wordcount",
+                   "freq_ghz": 1.2, "data_per_node_gb": 0.05,
+                   "n_nodes": 2})
+
+
+def _config(tmp_path, **overrides):
+    base = dict(workers=1, queue_limit=32, shards=2,
+                cache_dir=str(tmp_path / "cache"))
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def _with_service(config, fn):
+    service = SimulationService(config)
+    await service.start()
+    try:
+        return await fn(service)
+    finally:
+        await service.stop()
+
+
+# -- service-level guarantees ---------------------------------------------
+
+def test_concurrent_identical_submits_coalesce_to_one_flight(tmp_path):
+    async def scenario(service):
+        outcomes = await asyncio.gather(
+            *(service.submit(KEY) for _ in range(8)))
+        return outcomes
+
+    outcomes = asyncio.run(
+        _with_service(_config(tmp_path), scenario))
+    sources = sorted(source for _res, source in outcomes)
+    assert sources == ["coalesced"] * 7 + ["computed"]
+    results = {id(res) for res, _source in outcomes}
+    assert len(results) == 1, "waiters must share the one result object"
+
+
+def test_coalesced_flight_makes_exactly_one_executor_submission(tmp_path):
+    async def scenario(service):
+        await asyncio.gather(*(service.submit(KEY) for _ in range(8)))
+        return (service.stats.executor_submissions,
+                service.stats.executor_cells,
+                service.stats.coalesced_total)
+
+    submissions, cells, coalesced = asyncio.run(
+        _with_service(_config(tmp_path), scenario))
+    assert submissions == 1
+    assert cells == 1
+    assert coalesced == 7
+
+
+def test_result_matches_direct_simulate_cell(tmp_path):
+    async def scenario(service):
+        result, source = await service.submit(KEY)
+        return result, source
+
+    result, source = asyncio.run(
+        _with_service(_config(tmp_path), scenario))
+    assert source == "computed"
+    direct = simulate_cell(KEY)
+    assert result.execution_time_s == direct.execution_time_s
+    assert result.dynamic_energy_j == direct.dynamic_energy_j
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    config = _config(tmp_path)
+
+    async def first(service):
+        return await service.submit(KEY)
+
+    async def second(service):
+        return await service.submit(KEY)
+
+    asyncio.run(_with_service(config, first))
+    result, source = asyncio.run(_with_service(config, second))
+    assert source == "cache"
+    assert result.execution_time_s == simulate_cell(KEY).execution_time_s
+
+
+def test_cache_shards_are_populated_on_disk(tmp_path):
+    config = _config(tmp_path, shards=4)
+    keys = [RunKey(machine="atom", workload="wordcount", freq_ghz=f,
+                   data_per_node_gb=0.05, n_nodes=2)
+            for f in (1.2, 1.4, 1.6, 1.8)]
+
+    async def scenario(service):
+        await asyncio.gather(*(service.submit(k) for k in keys))
+
+    asyncio.run(_with_service(config, scenario))
+    shard_dirs = sorted(p.name for p in (tmp_path / "cache").iterdir())
+    # Shard dirs appear lazily on first store; every one must follow the
+    # stable naming scheme, and the keys must spread over >1 shard.
+    assert shard_dirs
+    assert all(name in {"shard-00", "shard-01", "shard-02", "shard-03"}
+               for name in shard_dirs)
+    assert len(shard_dirs) >= 2, "keys should spread over shards"
+    entries = sum(1 for p in (tmp_path / "cache").rglob("*.pkl"))
+    assert entries == 4
+
+
+def test_admission_beyond_queue_limit_sheds(tmp_path):
+    config = _config(tmp_path, queue_limit=1)
+    keys = [RunKey(machine="atom", workload="wordcount", freq_ghz=f,
+                   data_per_node_gb=0.05, n_nodes=2)
+            for f in (1.2, 1.4, 1.6)]
+
+    async def scenario(service):
+        outcomes = await asyncio.gather(
+            *(service.submit(k) for k in keys), return_exceptions=True)
+        return outcomes, service.stats.shed_total
+
+    outcomes, shed = asyncio.run(_with_service(config, scenario))
+    shed_outcomes = [o for o in outcomes if isinstance(o, Overloaded)]
+    served = [o for o in outcomes if isinstance(o, tuple)]
+    assert len(shed_outcomes) == 2 and len(served) == 1
+    assert shed == 2
+
+
+def test_identical_requests_coalesce_instead_of_shedding(tmp_path):
+    # queue_limit=1 with 5 *identical* submits: one admission, four
+    # coalesced waiters, zero shed — coalescing happens before admission.
+    config = _config(tmp_path, queue_limit=1)
+
+    async def scenario(service):
+        outcomes = await asyncio.gather(
+            *(service.submit(KEY) for _ in range(5)))
+        return outcomes, service.stats.shed_total
+
+    outcomes, shed = asyncio.run(_with_service(config, scenario))
+    assert shed == 0
+    assert sorted(s for _r, s in outcomes) == (["coalesced"] * 4
+                                               + ["computed"])
+
+
+def test_waiter_timeout_is_504_and_result_still_lands_in_cache(tmp_path):
+    config = _config(tmp_path, request_timeout_s=0.001)
+
+    async def scenario(service):
+        with pytest.raises(RequestTimeout):
+            await service.submit(KEY)
+        # The flight was not cancelled: wait for it to finish and land.
+        for _ in range(500):
+            if not service.inflight_cells:
+                break
+            await asyncio.sleep(0.02)
+        assert service.stats.timeout_total == 1
+        return service.cache.get(cache_key(KEY, service.conf), KEY,
+                                 service.conf)
+
+    cached = asyncio.run(_with_service(config, scenario))
+    assert cached is not None
+    assert cached.execution_time_s == simulate_cell(KEY).execution_time_s
+
+
+def test_draining_service_rejects_new_work(tmp_path):
+    async def scenario(service):
+        service.draining = True
+        with pytest.raises(Draining):
+            await service.submit(KEY)
+
+    asyncio.run(_with_service(_config(tmp_path), scenario))
+
+
+def test_stop_fails_pending_waiters_with_draining(tmp_path):
+    config = _config(tmp_path, request_timeout_s=30.0)
+
+    async def main():
+        service = SimulationService(config)
+        await service.start()
+        task = asyncio.ensure_future(service.submit(KEY))
+        await asyncio.sleep(0)           # let it register + enqueue
+        await service.stop()
+        with pytest.raises(Draining):
+            await task
+
+    asyncio.run(main())
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(workers=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(queue_limit=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(batch_max=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(request_timeout_s=0.0)
+
+
+# -- HTTP-level behaviour --------------------------------------------------
+
+async def _stack(tmp_path, **overrides):
+    return await start_stack(_config(tmp_path, **overrides))
+
+
+def test_concurrent_identical_requests_get_byte_identical_bodies(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        try:
+            conns = [_Connection(handle.host, handle.port)
+                     for _ in range(6)]
+            responses = await asyncio.gather(
+                *(c.request("POST", "/simulate", BODY) for c in conns))
+            for c in conns:
+                c.close()
+            # and once more, now served from cache
+            conn = _Connection(handle.host, handle.port)
+            cached = await conn.request("POST", "/simulate", BODY)
+            conn.close()
+            return responses, cached, handle.service.stats
+        finally:
+            await stop_stack(handle, graceful=False)
+
+    responses, cached, stats = asyncio.run(main())
+    assert [status for status, _b in responses] == [200] * 6
+    bodies = {body for _s, body in responses}
+    assert len(bodies) == 1, "identical requests must get identical bytes"
+    assert cached[0] == 200 and cached[1] in bodies
+    assert stats.executor_submissions == 1
+    payload = json.loads(bodies.pop())
+    assert payload["result"]["machine"] == "atom"
+    assert payload["result"]["execution_time_s"] > 0
+
+
+def test_http_error_statuses(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            out = {}
+            out["bad_json"] = await conn.request("POST", "/simulate",
+                                                 "{nope")
+            out["unknown_field"] = await conn.request(
+                "POST", "/simulate",
+                json.dumps({"machine": "atom", "workload": "wordcount",
+                            "sauce": 1}))
+            out["bad_machine"] = await conn.request(
+                "POST", "/simulate",
+                json.dumps({"machine": "m5", "workload": "wordcount"}))
+            out["missing"] = await conn.request(
+                "POST", "/simulate", json.dumps({"machine": "atom"}))
+            out["not_found"] = await conn.request("POST", "/nope", "{}")
+            out["method"] = await conn.request("GET", "/simulate")
+            return out
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    out = asyncio.run(main())
+    assert out["bad_json"][0] == 400
+    assert out["unknown_field"][0] == 400
+    assert b"sauce" in out["unknown_field"][1]
+    assert out["bad_machine"][0] == 400
+    assert out["missing"][0] == 400
+    assert out["not_found"][0] == 404
+    assert out["method"][0] == 405
+
+
+def test_sweep_expands_axes_in_order(tmp_path):
+    body = json.dumps({
+        "machine": ["atom", "xeon"],
+        "workload": "wordcount",
+        "freq_ghz": [1.2, 1.8],
+        "data_per_node_gb": 0.05,
+        "n_nodes": 2,
+    })
+
+    async def main():
+        handle = await _stack(tmp_path, workers=2)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            return await conn.request("POST", "/sweep", body)
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    status, data = asyncio.run(main())
+    assert status == 200
+    payload = json.loads(data)
+    assert payload["cells"] == 4
+    grid = [(row["machine"], row["freq_ghz"])
+            for row in payload["results"]]
+    assert grid == [("atom", 1.2), ("atom", 1.8),
+                    ("xeon", 1.2), ("xeon", 1.8)]
+
+
+def test_sweep_over_cell_limit_is_413(tmp_path):
+    body = json.dumps({
+        "machine": ["atom", "xeon"],
+        "workload": ["wordcount", "terasort"],
+        "freq_ghz": [1.2, 1.4, 1.6, 1.8],
+    })
+
+    async def main():
+        handle = await _stack(tmp_path, max_sweep_cells=8)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            return await conn.request("POST", "/sweep", body)
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    status, data = asyncio.run(main())
+    assert status == 413
+    assert b"16 cells" in data
+
+
+def test_compare_recommends_the_true_edp_winner(tmp_path):
+    body = json.dumps({"workload": "wordcount", "freq_ghz": 1.2,
+                       "data_per_node_gb": 0.05, "n_nodes": 2,
+                       "goal": "EDP"})
+
+    async def main():
+        handle = await _stack(tmp_path, workers=2)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            return await conn.request("POST", "/compare", body)
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    status, data = asyncio.run(main())
+    assert status == 200
+    payload = json.loads(data)
+    costs = {}
+    for machine in ("atom", "xeon"):
+        res = simulate_cell(RunKey(machine=machine, workload="wordcount",
+                                   freq_ghz=1.2, data_per_node_gb=0.05,
+                                   n_nodes=2))
+        costs[machine] = edxp(res.dynamic_energy_j,
+                              res.execution_time_s, 1)
+    expected = min(costs, key=lambda m: (costs[m], m))
+    assert payload["winner"] == expected
+    assert payload["candidates"][expected]["cost"] == costs[expected]
+    assert expected in payload["recommendation"]
+
+
+def test_compare_rejects_goal_and_machine_misuse(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            bad_goal = await conn.request(
+                "POST", "/compare",
+                json.dumps({"workload": "wordcount", "goal": "E42P"}))
+            with_machine = await conn.request(
+                "POST", "/compare",
+                json.dumps({"workload": "wordcount", "machine": "atom"}))
+            return bad_goal, with_machine
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    bad_goal, with_machine = asyncio.run(main())
+    assert bad_goal[0] == 400
+    assert with_machine[0] == 400
+
+
+def test_healthz_flips_to_503_while_draining(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            live = await conn.request("GET", "/healthz")
+            handle.service.draining = True
+            draining = await conn.request("GET", "/healthz")
+            return live, draining
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    live, draining = asyncio.run(main())
+    assert live[0] == 200
+    assert json.loads(live[1])["status"] == "ok"
+    assert draining[0] == 503
+    assert json.loads(draining[1])["status"] == "draining"
+
+
+def test_metrics_exposes_both_formats(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        conn = _Connection(handle.host, handle.port)
+        try:
+            await conn.request("POST", "/simulate", BODY)
+            text = await conn.request("GET", "/metrics")
+            as_json = await conn.request("GET", "/metrics?format=json")
+            return text, as_json
+        finally:
+            conn.close()
+            await stop_stack(handle, graceful=False)
+
+    (t_status, t_body), (j_status, j_body) = asyncio.run(main())
+    assert t_status == 200
+    lines = t_body.decode("utf-8").splitlines()
+    assert any(ln.startswith("repro_executor_submissions_total 1")
+               for ln in lines)
+    assert any('repro_requests_total{route="/simulate",status="200"} 1'
+               == ln for ln in lines)
+    assert j_status == 200
+    payload = json.loads(j_body)
+    assert payload["executor_cells_total"] == 1
+    assert payload["requests_total"]["/simulate 200"] == 1
+    assert "/simulate" in payload["latency"]
+
+
+def test_graceful_stop_stack_drains_cleanly(tmp_path):
+    async def main():
+        handle = await _stack(tmp_path)
+        conn = _Connection(handle.host, handle.port)
+        status, _body = await conn.request("POST", "/simulate", BODY)
+        conn.close()
+        await stop_stack(handle, graceful=True)
+        return status, handle.service.inflight_cells
+
+    status, inflight = asyncio.run(main())
+    assert status == 200
+    assert inflight == 0

@@ -250,8 +250,12 @@ def serve_qps(ctx: ScenarioContext) -> Dict[str, float]:
     trace = build_trace(_serve_load_config())
 
     async def _run():
+        # Telemetry off: the scenario gates the untelemetered hot path,
+        # so a tracing-cost regression shows up in serve.qps history
+        # as a deliberate choice, not ambient drift.
         handle = await start_stack(ServiceConfig(
-            workers=2, shards=_SERVE_SHARDS, cache_dir=str(cache_dir)))
+            workers=2, shards=_SERVE_SHARDS, cache_dir=str(cache_dir),
+            telemetry=False))
         try:
             return await run_load(handle.host, handle.port, trace,
                                   concurrency=_SERVE_CONCURRENCY,

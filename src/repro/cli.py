@@ -227,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="result-cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro-hadoop)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable request-scoped tracing "
+                            "(/debug/requests returns 404)")
+    serve.add_argument("--trace-ring", type=int, default=256, metavar="N",
+                       help="completed request traces kept for "
+                            "/debug/requests (default 256)")
+    serve.add_argument("--log-json", default=None, metavar="FILE",
+                       help="append structured JSON-lines event logs "
+                            "(request-id correlated) to FILE")
 
     loadtest = sub.add_parser(
         "loadtest", help="replay a seed-deterministic query trace against "
@@ -261,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default 60)")
     loadtest.add_argument("--out", "-o", default=None, metavar="FILE",
                           help="also write the JSON report to FILE")
+    loadtest.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="after the run, download the server's "
+                               "request traces as a Chrome trace-event "
+                               "file (open in ui.perfetto.dev)")
+    loadtest.add_argument("--log-json", default=None, metavar="FILE",
+                          help="append the client's structured "
+                               "JSON-lines events to FILE")
     loadtest.add_argument("--dry-run", action="store_true",
                           help="print the canonical trace and exit "
                                "(no server needed; for determinism "
@@ -597,6 +613,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .obs import slog
     from .serve.run import serve_forever
     from .serve.service import ServiceConfig
 
@@ -605,10 +622,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers, queue_limit=args.queue_limit,
             request_timeout_s=args.timeout, batch_max=args.batch_max,
             shards=args.shards, cache_dir=args.cache_dir,
-            no_cache=args.no_cache, drain_timeout_s=args.drain_timeout)
+            no_cache=args.no_cache, drain_timeout_s=args.drain_timeout,
+            telemetry=not args.no_telemetry, trace_ring=args.trace_ring)
     except ValueError as exc:
         print(f"repro-hadoop: error: {exc}", file=sys.stderr)
         return 2
+    log = None
+    if args.log_json:
+        try:
+            log = slog.install(sink=args.log_json)
+        except OSError as exc:
+            print(f"repro-hadoop: error: cannot open {args.log_json}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
     try:
         return asyncio.run(serve_forever(config, args.host, args.port))
     except OSError as exc:          # port in use, bad bind address, ...
@@ -616,6 +642,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     except KeyboardInterrupt:       # signal handler races on teardown
         return 0
+    finally:
+        if log is not None:
+            slog.uninstall()
+            log.close()
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -623,6 +653,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     import json as json_mod
 
     from .loadgen import LoadConfig, build_trace, run_load, trace_lines
+    from .loadgen.client import fetch_traces
+    from .obs import slog
 
     try:
         load_config = LoadConfig(
@@ -639,9 +671,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     async def _run():
         if not args.spawn:
-            return await run_load(args.host, args.port, trace,
-                                  concurrency=args.concurrency,
-                                  timeout_s=args.timeout)
+            report = await run_load(args.host, args.port, trace,
+                                    concurrency=args.concurrency,
+                                    timeout_s=args.timeout)
+            if args.trace_out:
+                return report, await fetch_traces(args.host, args.port)
+            return report, None
         from .serve.run import start_stack, stop_stack
         from .serve.service import ServiceConfig
         handle = await start_stack(ServiceConfig(
@@ -649,17 +684,42 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             batch_max=args.batch_max, no_cache=args.no_cache,
             cache_dir=args.cache_dir))
         try:
-            return await run_load(handle.host, handle.port, trace,
-                                  concurrency=args.concurrency,
-                                  timeout_s=args.timeout)
+            report = await run_load(handle.host, handle.port, trace,
+                                    concurrency=args.concurrency,
+                                    timeout_s=args.timeout)
+            chrome = None
+            if args.trace_out:
+                chrome = await fetch_traces(handle.host, handle.port)
+            return report, chrome
         finally:
             await stop_stack(handle, graceful=True)
 
+    log = None
+    if args.log_json:
+        try:
+            log = slog.install(sink=args.log_json)
+        except OSError as exc:
+            print(f"repro-hadoop: error: cannot open {args.log_json}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
     try:
-        report = asyncio.run(_run())
+        report, chrome = asyncio.run(_run())
     except (ValueError, OSError) as exc:
         print(f"repro-hadoop: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if log is not None:
+            slog.uninstall()
+            log.close()
+    if args.trace_out:
+        if chrome is None:
+            print("note: server traces unavailable (telemetry off or "
+                  "server unreachable); nothing written to "
+                  f"{args.trace_out}", file=sys.stderr)
+        else:
+            with open(args.trace_out, "wb") as fh:
+                fh.write(chrome)
+            print(f"wrote {args.trace_out}")
     print(report.render())
     if args.out:
         payload = {"config": {

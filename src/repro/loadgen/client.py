@@ -29,10 +29,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import slog
 from ..obs.metrics import LogHistogram
 from .generator import QuerySpec, unique_bodies
 
-__all__ = ["LoadReport", "run_load"]
+__all__ = ["LoadReport", "fetch_traces", "run_load"]
 
 _READ_LIMIT = 1024 * 1024
 
@@ -54,8 +55,29 @@ class LoadReport:
     status_counts: Dict[int, int] = field(default_factory=dict)
     latency: LogHistogram = field(default_factory=LogHistogram)
     route_latency: Dict[str, LogHistogram] = field(default_factory=dict)
+    #: path -> error class -> count; classes are ``shed`` (429),
+    #: ``unavailable`` (503), ``timeout`` (504), ``compute_error``
+    #: (other 5xx), ``client_error`` (other 4xx), ``transport``.
+    route_errors: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: path -> {"request_id", "status", "latency_s"} of the slowest
+    #: request seen on that path (id from ``X-Repro-Request-Id``).
+    slowest: Dict[str, Dict[str, object]] = field(default_factory=dict)
     metrics_before: Dict[str, object] = field(default_factory=dict)
     metrics_after: Dict[str, object] = field(default_factory=dict)
+
+    def count_route_error(self, path: str, kind: str) -> None:
+        tally = self.route_errors.setdefault(path, {})
+        tally[kind] = tally.get(kind, 0) + 1
+
+    def note_latency(self, path: str, seconds: float,
+                     status: Optional[int],
+                     request_id: Optional[str]) -> None:
+        """Track the slowest request per endpoint (with its trace id)."""
+        worst = self.slowest.get(path)
+        if worst is None or seconds > worst["latency_s"]:  # type: ignore
+            self.slowest[path] = {"request_id": request_id,
+                                  "status": status,
+                                  "latency_s": round(seconds, 6)}
 
     @property
     def errors(self) -> int:
@@ -115,6 +137,11 @@ class LoadReport:
             "latency": self.latency.to_dict(),
             "route_latency": {route: hist.to_dict() for route, hist in
                               sorted(self.route_latency.items())},
+            "route_errors": {route: dict(sorted(tally.items()))
+                             for route, tally in
+                             sorted(self.route_errors.items())},
+            "slowest": {route: worst for route, worst in
+                        sorted(self.slowest.items())},
         }
 
     def render(self) -> str:
@@ -142,6 +169,15 @@ class LoadReport:
                     f"  {route:10s} p50 {hist.quantile(0.5) * ms:8.2f} ms  "
                     f"p99 {hist.quantile(0.99) * ms:8.2f} ms  "
                     f"({hist.total} reqs)")
+        for route, worst in sorted(self.slowest.items()):
+            rid = worst.get("request_id") or "-"
+            lines.append(
+                f"  slowest {route}: {worst['latency_s'] * ms:.2f} ms "
+                f"(status {worst.get('status')}, id {rid})")
+        for route, tally in sorted(self.route_errors.items()):
+            parts = ", ".join(f"{kind}={count}" for kind, count in
+                              sorted(tally.items()))
+            lines.append(f"  errors {route}: {parts}")
         return "\n".join(lines)
 
 
@@ -153,6 +189,10 @@ class _Connection:
         self.port = port
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
+        #: Response headers of the last completed request (lower-cased
+        #: names) — carries ``x-repro-request-id`` without changing the
+        #: ``(status, body)`` return shape every caller relies on.
+        self.last_headers: Dict[str, str] = {}
 
     async def _ensure_open(self) -> None:
         if self.writer is None or self.writer.is_closing():
@@ -194,6 +234,7 @@ class _Connection:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         data = await self.reader.readexactly(length) if length else b""
+        self.last_headers = headers
         if headers.get("connection", "").lower() == "close":
             self.close()
         return status, data
@@ -229,6 +270,8 @@ async def run_load(host: str, port: int, trace: Sequence[QuerySpec],
         raise ValueError("concurrency must be >= 1")
     report = LoadReport()
     report.key_space = unique_bodies(trace)
+    slog.emit("loadtest.start", host=host, port=port,
+              requests=len(trace), concurrency=concurrency)
     report.metrics_before = await _scrape_metrics(host, port)
 
     digests: Dict[Tuple[str, str], str] = {}
@@ -241,16 +284,23 @@ async def run_load(host: str, port: int, trace: Sequence[QuerySpec],
             status, data = await asyncio.wait_for(
                 conn.request(q.method, q.path, q.body), timeout_s)
         except (asyncio.TimeoutError, ConnectionError,
-                asyncio.IncompleteReadError, OSError):
+                asyncio.IncompleteReadError, OSError) as exc:
             report.transport_errors += 1
+            report.count_route_error(q.path, "transport")
+            report.note_latency(q.path, time.perf_counter() - t0,
+                                None, None)
+            slog.emit("loadtest.transport", route=q.path,
+                      error=type(exc).__name__)
             conn.close()
             return
         elapsed = time.perf_counter() - t0
+        request_id = conn.last_headers.get("x-repro-request-id")
         report.latency.record(elapsed)
         hist = report.route_latency.get(q.path)
         if hist is None:
             hist = report.route_latency[q.path] = LogHistogram()
         hist.record(elapsed)
+        report.note_latency(q.path, elapsed, status, request_id)
         report.status_counts[status] = (
             report.status_counts.get(status, 0) + 1)
         if 200 <= status < 300:
@@ -261,12 +311,19 @@ async def run_load(host: str, port: int, trace: Sequence[QuerySpec],
                 report.mismatches += 1
         elif status == 429:
             report.shed += 1
+            report.count_route_error(q.path, "shed")
         elif status == 503:
             report.unavailable += 1
+            report.count_route_error(q.path, "unavailable")
+        elif status == 504:
+            report.server_errors += 1
+            report.count_route_error(q.path, "timeout")
         elif 400 <= status < 500:
             report.client_errors += 1
+            report.count_route_error(q.path, "client_error")
         else:
             report.server_errors += 1
+            report.count_route_error(q.path, "compute_error")
 
     if open_loop:
         semaphore = asyncio.Semaphore(concurrency)
@@ -311,4 +368,27 @@ async def run_load(host: str, port: int, trace: Sequence[QuerySpec],
     report.duration_s = time.perf_counter() - t_start
     report.requests = len(trace)
     report.metrics_after = await _scrape_metrics(host, port)
+    slog.emit("loadtest.end", requests=report.requests, ok=report.ok,
+              shed=report.shed, errors=report.errors,
+              duration_s=round(report.duration_s, 6))
     return report
+
+
+async def fetch_traces(host: str, port: int,
+                       fmt: str = "chrome") -> Optional[bytes]:
+    """Download the server's completed request traces, or ``None``.
+
+    ``fmt="chrome"`` fetches the Perfetto-loadable trace-event document
+    (what ``loadtest --trace-out`` writes); ``fmt="json"`` the plain
+    span listing.  Returns ``None`` when the server has telemetry off
+    (404) or is unreachable — the load run's own results still stand.
+    """
+    conn = _Connection(host, port)
+    try:
+        status, data = await conn.request(
+            "GET", f"/debug/requests?format={fmt}")
+        return data if status == 200 else None
+    except (ConnectionError, asyncio.IncompleteReadError, OSError):
+        return None
+    finally:
+        conn.close()

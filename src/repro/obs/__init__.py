@@ -6,24 +6,36 @@ equally-guarded ``prof.ACTIVE`` handle, a run without a tracer or
 profiler records nothing, and scalar outputs are byte-identical with
 tracing/profiling on or off.  See ``docs/OBSERVABILITY.md``.
 
-Two clocks, deliberately separated: :class:`Tracer` (attached) reads
-*simulated* time and describes the modeled cluster; :mod:`repro.obs.prof`
-reads *wall* time and describes what the reproduction costs the host.
+Three pillars, deliberately separated by clock and scope:
+:class:`Tracer` (attached) reads *simulated* time and describes the
+modeled cluster; :mod:`repro.obs.prof` reads *wall* time and describes
+what the reproduction costs the host, aggregated per phase; and the
+request-telemetry trio (:mod:`repro.obs.registry`,
+:mod:`repro.obs.reqtrace`, :mod:`repro.obs.slog`) reads *wall* time
+scoped to one serve-tier request — typed metrics with a valid
+Prometheus renderer, per-request span traces, and structured JSON-lines
+logs correlated by request id.
 """
 
-from . import prof
+from . import prof, reqtrace, slog
 from .export import (perfetto_json, perfetto_trace, text_summary,
                      timeline_csv, write_trace_files)
 from .invariants import (InvariantReport, TraceInvariantError, Violation,
                          check_intervals, check_job, verify_job)
 from .metrics import Counter, CounterRegistry, LogHistogram
 from .prof import PhaseStat, Profiler
+from .registry import (ExpositionError, MetricsRegistry, parse_exposition)
+from .reqtrace import RequestTelemetry, RequestTrace
+from .slog import StructuredLog
 from .spans import EventRecord, JobTrace, NodeInfo, SpanRecord, Tracer
 
 __all__ = [
     "Tracer", "JobTrace", "NodeInfo", "SpanRecord", "EventRecord",
     "Counter", "CounterRegistry", "LogHistogram",
     "prof", "Profiler", "PhaseStat",
+    "reqtrace", "RequestTelemetry", "RequestTrace",
+    "slog", "StructuredLog",
+    "MetricsRegistry", "ExpositionError", "parse_exposition",
     "check_intervals", "check_job", "verify_job",
     "InvariantReport", "Violation", "TraceInvariantError",
     "perfetto_trace", "perfetto_json", "timeline_csv", "text_summary",

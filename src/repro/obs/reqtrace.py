@@ -1,0 +1,385 @@
+"""Request-scoped wall-clock tracing for the serve/loadgen tier.
+
+The third observability pillar.  Where the :class:`~repro.obs.spans.Tracer`
+records *simulated* time inside one job and :mod:`repro.obs.prof`
+aggregates *wall* time across a whole process, this module answers the
+per-request question the other two cannot: **where did this specific
+slow request spend its time** — HTTP parse, routing, coalesce wait,
+admission-queue wait, pool execution, or cache store?
+
+Model
+-----
+
+A :class:`RequestTrace` is one request's wall-clock life: a generated
+request id, the route/method, a flat list of named :class:`SpanRec`
+windows (offsets are ``perf_counter`` stamps; exporters rebase them),
+and a final status.  Spans come from two directions:
+
+* the code path *owning* the request times its own blocks via
+  :meth:`RequestTrace.span` (a context manager), and
+* asynchronous stages that process the request on its behalf (the
+  service's drain loop, which holds the admission queue and the process
+  pool) attach externally timed windows via :meth:`RequestTrace.add_span`
+  — that is how queue-wait and pool-execution land on the trace of the
+  request that triggered the computation, keyed by the trace id that is
+  threaded through ``service.submit`` and ``work.simulate_batch``.
+
+A :class:`RequestTelemetry` instance owns the traces: a registry of
+in-flight requests plus a bounded ring buffer (``collections.deque``)
+of the most recently *completed* traces, so memory stays constant under
+any load.  :func:`chrome_trace` exports a batch of completed traces in
+the Chrome trace-event format (the same convention as
+:mod:`repro.obs.export`): one synthetic *thread* per request, span
+nesting restored from interval containment, so
+https://ui.perfetto.dev opens a ``/debug/requests?format=chrome``
+download directly.
+
+Propagation uses :mod:`contextvars`: the HTTP layer binds the current
+trace around the handler (:func:`push` / :func:`pop`), and any code
+below — the service, the cache, instrumented helpers — reaches it with
+:func:`current` without threading a handle through every signature.
+``contextvars`` follows ``asyncio`` task switches, so thousands of
+interleaved requests each see exactly their own trace.
+
+Zero-cost rule: everything here is wall-clock-only and opt-in.  With
+telemetry off the serve tier never constructs a trace, instrumented
+sites guard on a ``None`` handle (OBS001-enforced), and simulation
+outputs are byte-identical either way — request ids are generated from
+a process-local token and never reach any simulation input.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["SpanRec", "RequestTrace", "RequestTelemetry", "ACTIVE",
+           "install", "uninstall", "current", "push", "pop", "use",
+           "span", "chrome_trace", "chrome_json"]
+
+_US = 1e6  # seconds -> trace microseconds (obs/export.py convention)
+
+#: Optional module-level handle, mirroring ``prof.ACTIVE``: the serve
+#: stack passes its telemetry instance explicitly, but standalone tools
+#: (the loadgen client, tests) can install one globally instead of
+#: threading it.  ``None`` means request tracing is off.
+ACTIVE: Optional["RequestTelemetry"] = None
+
+#: The request trace the current (asyncio or thread) context is serving.
+_CURRENT: "contextvars.ContextVar[Optional[RequestTrace]]" = \
+    contextvars.ContextVar("repro_request_trace", default=None)
+
+
+class SpanRec:
+    """One named wall-clock window inside a request."""
+
+    __slots__ = ("name", "start", "end", "meta")
+
+    def __init__(self, name: str, start: float, end: float,
+                 meta: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.meta = meta
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SpanRec {self.name} {self.duration_s * 1e3:.3f}ms>")
+
+
+class RequestTrace:
+    """The wall-clock life of one request.
+
+    ``t0`` anchors the trace on the host's ``perf_counter`` timeline;
+    ``started_at`` is the matching wall-clock epoch so exports can show
+    absolute times.  Span mutation is append-only and guarded by a lock:
+    the drain loop attaches windows from outside the request's own
+    task, and (with a threaded client) potentially another thread.
+    """
+
+    __slots__ = ("id", "route", "method", "t0", "started_at", "status",
+                 "end", "spans", "_lock")
+
+    def __init__(self, trace_id: str, route: str, method: str,
+                 t0: float, started_at: float):
+        self.id = trace_id
+        self.route = route
+        self.method = method
+        self.t0 = t0
+        self.started_at = started_at
+        self.status: Optional[int] = None     #: HTTP status once finished
+        self.end: Optional[float] = None      #: perf_counter at finish
+        self.spans: List[SpanRec] = []
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end if self.end is not None else self.t0
+        return max(end - self.t0, 0.0)
+
+    def add_span(self, name: str, start: float, end: float,
+                 **meta: object) -> SpanRec:
+        """Attach an externally timed window (``perf_counter`` stamps)."""
+        rec = SpanRec(name, start, end, meta or None)
+        with self._lock:
+            self.spans.append(rec)
+        return rec
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[SpanRec]:
+        """Time a block as one span of this trace."""
+        start = time.perf_counter()
+        rec = SpanRec(name, start, start, meta or None)
+        try:
+            yield rec
+        finally:
+            rec.end = time.perf_counter()
+            with self._lock:
+                self.spans.append(rec)
+
+    def phase_s(self, name: str) -> float:
+        """Total seconds this trace spent in spans named *name*."""
+        with self._lock:
+            return sum(s.duration_s for s in self.spans if s.name == name)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (span offsets relative to ``t0``)."""
+        with self._lock:
+            spans = list(self.spans)
+        spans.sort(key=lambda s: (s.start, s.end, s.name))
+        return {
+            "id": self.id,
+            "route": self.route,
+            "method": self.method,
+            "started_at": round(self.started_at, 6),
+            "status": self.status,
+            "duration_s": round(self.duration_s, 9),
+            "spans": [
+                {"name": s.name,
+                 "offset_s": round(s.start - self.t0, 9),
+                 "duration_s": round(s.duration_s, 9),
+                 **({"meta": s.meta} if s.meta else {})}
+                for s in spans
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self.status if self.done else "inflight"
+        return (f"<RequestTrace {self.id} {self.method} {self.route} "
+                f"[{state}] {len(self.spans)} spans>")
+
+
+class RequestTelemetry:
+    """Owns request traces: id generation, inflight registry, ring.
+
+    ``ring`` bounds the completed-trace buffer; eviction is FIFO (the
+    deque drops the oldest).  Request ids are ``<token>-<seq>`` where
+    the token is derived from the pid and service start time — unique
+    across restarts without consuming entropy, and greppable: every id
+    from one server lifetime shares a prefix.
+    """
+
+    def __init__(self, ring: int = 256,
+                 clock=time.perf_counter, wall=time.time):
+        if ring < 1:
+            raise ValueError("ring must be >= 1")
+        self.clock = clock
+        self.wall = wall
+        token_src = f"{os.getpid()}-{wall():.6f}"
+        # A short stable digest, not a hash() (PYTHONHASHSEED-free).
+        self.token = hashlib.sha256(
+            token_src.encode("ascii")).hexdigest()[:8]
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, RequestTrace] = {}
+        self._ring: Deque[RequestTrace] = deque(maxlen=ring)
+        self.started = 0
+        self.completed = 0
+        self.evicted = 0
+
+    @property
+    def ring_size(self) -> int:
+        return self._ring.maxlen or 0
+
+    def start(self, route: str, method: str = "GET",
+              t0: Optional[float] = None) -> RequestTrace:
+        """Open a trace for a new request and register it in-flight."""
+        trace_id = f"{self.token}-{next(self._seq):06d}"
+        now = self.clock()
+        trace = RequestTrace(trace_id, route, method,
+                             t0 if t0 is not None else now, self.wall())
+        with self._lock:
+            self._inflight[trace_id] = trace
+            self.started += 1
+        return trace
+
+    def finish(self, trace: RequestTrace,
+               status: Optional[int] = None) -> None:
+        """Close a trace and move it into the completed ring."""
+        trace.end = self.clock()
+        if status is not None:
+            trace.status = status
+        with self._lock:
+            self._inflight.pop(trace.id, None)
+            if len(self._ring) == self._ring.maxlen:
+                self.evicted += 1
+            self._ring.append(trace)
+            self.completed += 1
+
+    def get(self, trace_id: str) -> Optional[RequestTrace]:
+        with self._lock:
+            found = self._inflight.get(trace_id)
+            if found is not None:
+                return found
+            for trace in self._ring:
+                if trace.id == trace_id:
+                    return trace
+        return None
+
+    def recent(self, limit: Optional[int] = None) -> List[RequestTrace]:
+        """Most recently completed traces, newest first."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.reverse()
+        return traces[:limit] if limit is not None else traces
+
+    def inflight(self) -> List[RequestTrace]:
+        """Currently open traces, oldest first."""
+        with self._lock:
+            return sorted(self._inflight.values(),
+                          key=lambda t: (t.t0, t.id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RequestTelemetry {len(self._inflight)} inflight, "
+                f"{len(self._ring)}/{self.ring_size} completed>")
+
+
+# -- context propagation ---------------------------------------------------
+
+def current() -> Optional[RequestTrace]:
+    """The trace bound to the calling context, or ``None``."""
+    return _CURRENT.get()
+
+
+def push(trace: RequestTrace) -> "contextvars.Token":
+    """Bind *trace* as the context's current request; returns the token."""
+    return _CURRENT.set(trace)
+
+
+def pop(token: "contextvars.Token") -> None:
+    """Undo a :func:`push`."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def use(trace: Optional[RequestTrace]) -> Iterator[Optional[RequestTrace]]:
+    """Context manager form of :func:`push`/:func:`pop`."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextmanager
+def span(name: str, **meta: object) -> Iterator[Optional[SpanRec]]:
+    """Time a block on the context's current trace; no-op without one."""
+    trace = _CURRENT.get()
+    if trace is None:
+        yield None
+        return
+    with trace.span(name, **meta) as rec:
+        yield rec
+
+
+# -- installation (module-handle form, mirrors prof) -----------------------
+
+def install(telemetry: Optional[RequestTelemetry] = None
+            ) -> RequestTelemetry:
+    """Make *telemetry* (or a fresh instance) the module handle."""
+    global ACTIVE
+    if telemetry is None:
+        telemetry = RequestTelemetry()
+    ACTIVE = telemetry
+    return telemetry
+
+
+def uninstall() -> Optional[RequestTelemetry]:
+    global ACTIVE
+    previous, ACTIVE = ACTIVE, None
+    return previous
+
+
+# -- Chrome trace export ---------------------------------------------------
+
+def chrome_trace(traces: Sequence[RequestTrace]) -> Dict[str, object]:
+    """Chrome trace-event JSON for a batch of completed request traces.
+
+    Follows the :mod:`repro.obs.export` conventions: one *process*
+    (``serve``), one synthetic *thread* per request named by its id,
+    ``X`` (complete) events with microsecond timestamps rebased to the
+    earliest trace start, and the whole request as an enclosing span so
+    Perfetto nests the phases visually.  Pure function of its input —
+    byte-identical for the same traces.
+    """
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "name": "process_name", "pid": 1,
+         "args": {"name": "serve"}},
+    ]
+    if not traces:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    ordered = sorted(traces, key=lambda t: (t.t0, t.id))
+    base = ordered[0].t0
+    for tid, trace in enumerate(ordered, start=1):
+        events.append({"ph": "M", "name": "thread_name", "pid": 1,
+                       "tid": tid,
+                       "args": {"name": f"{trace.id} {trace.method} "
+                                        f"{trace.route}"}})
+        end = trace.end if trace.end is not None else trace.t0
+        args: Dict[str, object] = {"id": trace.id, "route": trace.route}
+        if trace.status is not None:
+            args["status"] = trace.status
+        events.append({
+            "ph": "X", "pid": 1, "tid": tid,
+            "name": f"{trace.method} {trace.route}",
+            "cat": "request",
+            "ts": round((trace.t0 - base) * _US, 3),
+            "dur": round(max(end - trace.t0, 0.0) * _US, 3),
+            "args": args,
+        })
+        spans = sorted(trace.spans, key=lambda s: (s.start, s.end, s.name))
+        for rec in spans:
+            span_args: Dict[str, object] = {"id": trace.id}
+            if rec.meta:
+                span_args.update(
+                    {k: rec.meta[k] for k in sorted(rec.meta)})
+            events.append({
+                "ph": "X", "pid": 1, "tid": tid,
+                "name": rec.name,
+                "cat": "phase",
+                "ts": round((rec.start - base) * _US, 3),
+                "dur": round(rec.duration_s * _US, 3),
+                "args": span_args,
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_json(traces: Sequence[RequestTrace]) -> str:
+    """:func:`chrome_trace` serialized canonically (sorted keys)."""
+    return json.dumps(chrome_trace(traces), sort_keys=True,
+                      separators=(",", ":"))

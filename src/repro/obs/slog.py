@@ -1,0 +1,128 @@
+"""Structured JSON-lines logging with request-ID correlation.
+
+The serve tier's human-facing stderr lines ("listening on ...",
+"drained (...)") are fine for an operator's terminal but useless to a
+pipeline: no timestamps, no machine-parseable fields, and no way to tie
+a "request shed" event back to the request it shed.  This module is the
+structured twin: one JSON object per line, sorted keys, an absolute
+wall-clock timestamp, an ``event`` name, and — whenever the calling
+context is serving a request traced by :mod:`repro.obs.reqtrace` — the
+owning ``request_id`` injected automatically.  ``grep`` a request id
+from a slow-trace report and every log line that request produced
+falls out.
+
+Usage follows the repo's opt-in handle pattern (``prof.ACTIVE``): the
+module-level :data:`ACTIVE` logger defaults to ``None`` and
+:func:`emit` is a no-op until something installs one, so an unlogged
+run pays one attribute load per site.  The serve CLI installs a
+file-backed logger for ``--log-json PATH``; tests install one over a
+``StringIO``.
+
+Events the serve stack emits (see ``docs/SERVICE.md``):
+
+========================  =================================================
+``serve.start``           listener up (host, port, workers, queue_limit)
+``serve.drain.begin``     SIGTERM received, admission stopping
+``serve.drain.end``       drain finished (served, coalesced, shed)
+``request.shed``          admission queue full -> 429 (request_id)
+``request.timeout``       waiter deadline passed -> 504 (request_id)
+``request.drained``       request arrived while draining -> 503
+``request.error``         a worker failed to compute -> 4xx/5xx
+``loadtest.start/end``    load-generator run lifecycle
+``loadtest.transport``    client-side connect/reset/short-read failure
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+from . import reqtrace
+
+__all__ = ["ACTIVE", "StructuredLog", "install", "uninstall", "emit"]
+
+#: The installed logger, or ``None`` (structured logging off).
+ACTIVE: Optional["StructuredLog"] = None
+
+
+class StructuredLog:
+    """A JSON-lines event logger over one file or stream.
+
+    Each :meth:`log` call writes exactly one line —
+    ``{"event": ..., "ts": ..., ...fields}`` with sorted keys — and
+    flushes, so a crashed process leaves no half-written tail beyond
+    the final line.  Writes take a lock: the asyncio serve loop and the
+    pool-facing drain loops share one logger.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]],
+                 clock=time.time):
+        self.clock = clock
+        self._lock = threading.Lock()
+        if isinstance(sink, (str, bytes)):
+            self._stream: IO[str] = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Optional[str] = str(sink)
+        else:
+            self._stream = sink
+            self._owns_stream = False
+            self.path = None
+        self.lines = 0
+
+    def log(self, event: str, **fields: object) -> None:
+        """Write one event line; injects ``ts`` and ``request_id``."""
+        doc = dict(fields)
+        doc["event"] = event
+        doc.setdefault("ts", round(self.clock(), 6))
+        if "request_id" not in doc:
+            trace = reqtrace.current()
+            if trace is not None:
+                doc["request_id"] = trace.id
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            try:
+                self._stream.flush()
+            except (ValueError, OSError):   # closed underlying stream
+                pass
+            self.lines += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:                  # pragma: no cover
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.path or type(self._stream).__name__
+        return f"<StructuredLog {where} ({self.lines} lines)>"
+
+
+def install(log: Optional[StructuredLog] = None,
+            sink: Union[str, IO[str], None] = None) -> StructuredLog:
+    """Make *log* (or a fresh logger over *sink*) the active logger."""
+    global ACTIVE
+    if log is None:
+        log = StructuredLog(sink if sink is not None else io.StringIO())
+    ACTIVE = log
+    return log
+
+
+def uninstall() -> Optional[StructuredLog]:
+    """Deactivate structured logging; returns the logger that was on."""
+    global ACTIVE
+    previous, ACTIVE = ACTIVE, None
+    return previous
+
+
+def emit(event: str, **fields: object) -> None:
+    """Log through the active logger; no-op when logging is off."""
+    log = ACTIVE
+    if log is not None:
+        log.log(event, **fields)

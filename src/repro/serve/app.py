@@ -1,6 +1,6 @@
 """Routes and payload schemas for the what-if API.
 
-Five endpoints (see ``docs/SERVICE.md`` for the full reference):
+Seven endpoints (see ``docs/SERVICE.md`` for the full reference):
 
 * ``POST /simulate`` — one grid cell; body is RunKey fields.
 * ``POST /sweep``    — a grid; each RunKey field may be a list (axes).
@@ -8,13 +8,18 @@ Five endpoints (see ``docs/SERVICE.md`` for the full reference):
   simulates the described job on both machines and recommends by the
   requested cost goal (EDP / ED2P / ED3P).
 * ``GET /healthz``   — liveness; 503 while draining.
-* ``GET /metrics``   — Prometheus text (or ``?format=json``).
+* ``GET /metrics``   — valid Prometheus text exposition (or
+  ``?format=json``), rendered by the typed registry.
+* ``GET /debug/requests`` — recently completed request traces
+  (``?format=chrome`` downloads a Perfetto-loadable trace).
+* ``GET /debug/inflight`` — requests currently being served.
 
-Every 200 body is canonical JSON (sorted keys, compact separators) and
-a pure function of the request body, so identical requests get
-byte-identical bodies whether they were computed, coalesced, or served
-from cache — the serving path is reported in the ``X-Repro-Source``
-header instead.
+Every 200 body from the simulate family is canonical JSON (sorted keys,
+compact separators) and a pure function of the request body, so
+identical requests get byte-identical bodies whether they were
+computed, coalesced, or served from cache — the serving path is
+reported in the ``X-Repro-Source`` header instead, and the request's
+trace id (when telemetry is on) in ``X-Repro-Request-Id``.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ from ..arch.presets import MACHINES
 from ..core.characterization import RunKey
 from ..core.metrics import edxp
 from ..mapreduce.driver import JobResult
-from ..obs import prof
+from ..obs import prof, reqtrace, slog
+from ..obs.reqtrace import RequestTrace
 from ..workloads.base import all_workloads
 from .http import BadRequest, Request, Response
 from .service import (ComputeError, Draining, Overloaded, RequestTimeout,
@@ -148,11 +154,49 @@ class SimulationApp:
             ("POST", "/compare"): self._compare,
             ("GET", "/healthz"): self._healthz,
             ("GET", "/metrics"): self._metrics,
+            ("GET", "/debug/requests"): self._debug_requests,
+            ("GET", "/debug/inflight"): self._debug_inflight,
         }
 
     # -- entry point -------------------------------------------------------
 
     async def handle(self, request: Request) -> Response:
+        """Dispatch one request, tracing it when telemetry is on.
+
+        The trace covers the whole request: the ``http.parse`` window is
+        back-filled from the stamps :func:`repro.serve.http.read_request`
+        left on the request, the handler runs under the trace context
+        (so the service's coalesce/queue/pool spans attach to it), and
+        the trace id rides back in ``X-Repro-Request-Id``.  With
+        telemetry off this method is exactly the PR 8 dispatch path —
+        no trace objects, no context switches, byte-identical bodies.
+        """
+        tel = self.service.telemetry
+        if tel is not None:
+            trace = tel.start(request.path, request.method,
+                              t0=request.recv_start or None)
+            if 0.0 < request.recv_start <= request.recv_end:
+                trace.add_span("http.parse", request.recv_start,
+                               request.recv_end,
+                               body_bytes=len(request.body))
+            token = reqtrace.push(trace)
+            try:
+                response = await self._dispatch(request, trace)
+            except BaseException:
+                tel.finish(trace, 500)   # handler bug -> http.py's 500
+                raise
+            finally:
+                reqtrace.pop(token)
+            tel.finish(trace, response.status)
+            return Response(
+                status=response.status, body=response.body,
+                content_type=response.content_type,
+                headers=response.headers
+                + (("X-Repro-Request-Id", trace.id),))
+        return await self._dispatch(request, None)
+
+    async def _dispatch(self, request: Request,
+                        trace: Optional[RequestTrace]) -> Response:
         route = request.path
         handler = self._routes.get((request.method, request.path))
         if handler is None:
@@ -167,27 +211,32 @@ class SimulationApp:
             return response
         t0 = time.perf_counter()
         profiler = prof.ACTIVE
+        config = self.service.config
         try:
             if profiler is not None:
                 with profiler.phase(f"serve.handle{route}"):
-                    response = await handler(request)
+                    response = await self._invoke(handler, request, trace)
             else:
-                response = await handler(request)
+                response = await self._invoke(handler, request, trace)
         except BadRequest as exc:
             response = Response.error(exc.status, str(exc))
         except Overloaded as exc:
+            slog.emit("request.shed", route=route,
+                      queue_limit=config.queue_limit)
             response = Response.error(
                 429, str(exc),
-                headers=(("Retry-After",
-                          str(self.service.config.retry_after_s)),))
+                headers=(("Retry-After", str(config.retry_after_s)),))
         except Draining as exc:
+            slog.emit("request.drained", route=route)
             response = Response.error(
                 503, str(exc),
-                headers=(("Retry-After",
-                          str(self.service.config.retry_after_s)),))
+                headers=(("Retry-After", str(config.retry_after_s)),))
         except RequestTimeout as exc:
+            slog.emit("request.timeout", route=route,
+                      timeout_s=config.request_timeout_s)
             response = Response.error(504, str(exc))
         except ComputeError as exc:
+            slog.emit("request.error", route=route, error=str(exc))
             if isinstance(exc.cause, (ValueError, KeyError)):
                 response = Response.error(400, str(exc))
             else:
@@ -196,6 +245,13 @@ class SimulationApp:
         self.service.stats.observe_latency(route,
                                            time.perf_counter() - t0)
         return response
+
+    async def _invoke(self, handler, request: Request,
+                      trace: Optional[RequestTrace]) -> Response:
+        if trace is None:
+            return await handler(request)
+        with trace.span("route", handler=handler.__name__.lstrip("_")):
+            return await handler(request)
 
     # -- endpoints ---------------------------------------------------------
 
@@ -299,48 +355,59 @@ class SimulationApp:
         })
 
     async def _metrics(self, request: Request) -> Response:
-        stats = self.service.stats
-        cache = self.service.cache
-        snapshot = {
-            "coalesced_total": stats.coalesced_total,
-            "shed_total": stats.shed_total,
-            "timeout_total": stats.timeout_total,
-            "executor_submissions_total": stats.executor_submissions,
-            "executor_cells_total": stats.executor_cells,
-            "cache_hits_total": cache.hits if cache else 0,
-            "cache_misses_total": cache.misses if cache else 0,
-            "cache_stores_total": cache.stores if cache else 0,
-            "cache_corrupt_total": cache.corrupt if cache else 0,
-            "inflight_cells": self.service.inflight_cells,
-            "uptime_seconds": time.time() - stats.started_at,
-        }
+        # One renderer for both formats: the PR 8 hand-assembled text
+        # (no TYPE/HELP, quantile on a gauge, no _sum/_count) is gone —
+        # the registry output passes repro.obs.registry.parse_exposition
+        # and CI scrapes + validates it on every push.
+        registry = self.service.sync_metrics()
         if request.query.get("format") == "json":
-            payload = dict(snapshot)
-            payload["requests_total"] = {
-                f"{route} {status}": count
-                for (route, status), count in
-                sorted(stats.requests_total.items())
-            }
-            payload["latency"] = {
-                route: hist.to_dict()
-                for route, hist in sorted(stats.latency.items())
-            }
-            return Response.json(payload)
-        lines = []
-        for name, value in snapshot.items():
-            lines.append(f"repro_{name} {value}")
-        for (route, status), count in sorted(stats.requests_total.items()):
-            lines.append(
-                f'repro_requests_total{{route="{route}",'
-                f'status="{status}"}} {count}')
-        for route, hist in sorted(stats.latency.items()):
-            for q in (0.5, 0.95, 0.99):
-                lines.append(
-                    f'repro_request_latency_seconds{{route="{route}",'
-                    f'quantile="{q}"}} {hist.quantile(q)}')
-            lines.append(
-                f'repro_request_latency_seconds_count{{route="{route}"}} '
-                f'{hist.total}')
-        return Response(status=200, body=("\n".join(lines) + "\n")
-                        .encode("utf-8"),
-                        content_type="text/plain; version=0.0.4")
+            return Response.json(registry.render_json())
+        return Response(
+            status=200,
+            body=registry.render_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4")
+
+    async def _debug_requests(self, request: Request) -> Response:
+        tel = self.service.telemetry
+        if tel is not None:
+            raw_limit = request.query.get("limit")
+            limit = None
+            if raw_limit is not None:
+                try:
+                    limit = int(raw_limit)
+                except ValueError:
+                    raise BadRequest(f"bad limit {raw_limit!r}") from None
+                if limit < 1:
+                    raise BadRequest("limit must be >= 1")
+            traces = tel.recent(limit)
+            fmt = request.query.get("format", "json")
+            if fmt == "chrome":
+                body = reqtrace.chrome_json(traces).encode("utf-8")
+                return Response(
+                    status=200, body=body,
+                    content_type="application/json",
+                    headers=(("Content-Disposition",
+                              'attachment; '
+                              'filename="requests.trace.json"'),))
+            if fmt != "json":
+                raise BadRequest(
+                    f"unknown format {fmt!r}; available: json, chrome")
+            return Response.json({
+                "ring_size": tel.ring_size,
+                "completed": tel.completed,
+                "evicted": tel.evicted,
+                "traces": [trace.to_dict() for trace in traces],
+            })
+        raise BadRequest(
+            "request telemetry is disabled (--no-telemetry)", status=404)
+
+    async def _debug_inflight(self, request: Request) -> Response:
+        tel = self.service.telemetry
+        if tel is not None:
+            traces = tel.inflight()
+            return Response.json({
+                "inflight": len(traces),
+                "traces": [trace.to_dict() for trace in traces],
+            })
+        raise BadRequest(
+            "request telemetry is disabled (--no-telemetry)", status=404)

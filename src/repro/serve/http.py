@@ -14,6 +14,7 @@ stragglers — the mechanics behind zero-5xx SIGTERM restarts.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
@@ -58,6 +59,10 @@ class Request:
     query: Dict[str, str]
     headers: Dict[str, str]         #: keys lower-cased
     body: bytes
+    #: ``perf_counter`` stamps around the socket read + parse, so the
+    #: request-trace layer can charge "http.parse" without re-timing.
+    recv_start: float = 0.0
+    recv_end: float = 0.0
 
     def json_body(self):
         """Decode the body as JSON, mapping failures to 400."""
@@ -124,6 +129,7 @@ async def read_request(reader: asyncio.StreamReader,
         raise BadRequest("truncated request head") from exc
     except asyncio.LimitOverrunError as exc:
         raise BadRequest("request head too large", status=413) from exc
+    recv_start = time.perf_counter()
     if len(head) > max_header_bytes:
         raise BadRequest("request head too large", status=413)
 
@@ -168,7 +174,8 @@ async def read_request(reader: asyncio.StreamReader,
     split = urlsplit(target)
     return Request(method=method.upper(), path=split.path or "/",
                    query=dict(parse_qsl(split.query)),
-                   headers=headers, body=body)
+                   headers=headers, body=body,
+                   recv_start=recv_start, recv_end=time.perf_counter())
 
 
 Handler = Callable[[Request], Awaitable[Response]]

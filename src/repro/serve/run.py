@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..mapreduce.config import DEFAULT_CONF, JobConf
+from ..obs import slog
 from .app import SimulationApp
 from .http import HTTPServer
 from .service import ServiceConfig, SimulationService
@@ -78,13 +79,19 @@ async def serve_forever(config: ServiceConfig, host: str, port: int,
         f"queue limit {config.queue_limit}, batch max {config.batch_max}, "
         f"{config.shards} cache shards"
         f"{', cache off' if config.no_cache else ''})")
+    slog.emit("serve.start", host=handle.host, port=handle.port,
+              workers=config.workers, queue_limit=config.queue_limit,
+              batch_max=config.batch_max, telemetry=config.telemetry)
     if ready is not None:
         ready.set()
     await stop.wait()
     log("repro-hadoop serve: draining...")
+    slog.emit("serve.drain.begin")
     await stop_stack(handle, graceful=True)
     stats = handle.service.stats
     served = sum(stats.requests_total.values())
     log(f"repro-hadoop serve: drained ({served} requests served, "
         f"{stats.coalesced_total} coalesced, {stats.shed_total} shed)")
+    slog.emit("serve.drain.end", served=served,
+              coalesced=stats.coalesced_total, shed=stats.shed_total)
     return 0

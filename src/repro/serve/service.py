@@ -36,15 +36,16 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.executor import ResultCache, cache_key, model_fingerprint
 from ..core.characterization import RunKey
 from ..mapreduce.config import DEFAULT_CONF, JobConf
 from ..mapreduce.driver import JobResult
-from ..obs import prof
-from ..obs.metrics import LogHistogram
+from ..obs import prof, reqtrace
+from ..obs.registry import MetricsRegistry
+from ..obs.reqtrace import RequestTelemetry, RequestTrace
 from .work import simulate_batch
 
 __all__ = ["ComputeError", "Overloaded", "RequestTimeout", "Draining",
@@ -87,6 +88,8 @@ class ServiceConfig:
     drain_timeout_s: float = 10.0    #: grace period for SIGTERM drain
     max_sweep_cells: int = 256       #: per-request sweep grid cap -> 413
     retry_after_s: int = 1           #: Retry-After hint on 429/503
+    telemetry: bool = True           #: request-scoped wall-clock tracing
+    trace_ring: int = 256            #: completed request traces kept
 
     def __post_init__(self):
         if self.workers < 1:
@@ -99,6 +102,8 @@ class ServiceConfig:
             raise ValueError("shards must be >= 1")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be >= 1")
 
 
 class ShardedResultCache:
@@ -151,28 +156,108 @@ class ShardedResultCache:
         return sum(s.corrupt for s in self.shards)
 
 
-@dataclass
 class ServiceStats:
-    """Monotonic counters + latency histograms for ``/metrics``."""
+    """Service counters + latency histograms over one typed registry.
 
-    started_at: float = field(default_factory=time.time)
-    requests_total: Dict[Tuple[str, int], int] = field(default_factory=dict)
-    coalesced_total: int = 0
-    shed_total: int = 0
-    timeout_total: int = 0
-    executor_submissions: int = 0
-    executor_cells: int = 0
-    latency: Dict[str, LogHistogram] = field(default_factory=dict)
+    PR 8's hand-rolled dict grew organically into malformed ``/metrics``
+    output; this class is now a thin facade over a
+    :class:`~repro.obs.registry.MetricsRegistry`, which owns every
+    instrument and renders both exposition formats canonically.  The
+    integer properties (``coalesced_total`` & co.) keep the service and
+    test call sites registry-agnostic.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.started_at = time.time()
+        reg = self.registry = (registry if registry is not None
+                               else MetricsRegistry())
+        self._requests = reg.counter(
+            "requests_total", "HTTP requests served, by route and status.",
+            labels=("route", "status"))
+        self._latency = reg.histogram(
+            "request_latency_seconds",
+            "Wall-clock request latency in seconds, by route.",
+            labels=("route",))
+        self._coalesced = reg.counter(
+            "coalesced_total",
+            "Requests that joined an identical in-flight computation.")
+        self._shed = reg.counter(
+            "shed_total",
+            "Requests shed with 429 (admission queue full).")
+        self._timeouts = reg.counter(
+            "timeout_total",
+            "Waiters that hit the per-request deadline (504).")
+        self._submissions = reg.counter(
+            "executor_submissions_total",
+            "Micro-batches submitted to the process pool.")
+        self._cells = reg.counter(
+            "executor_cells_total",
+            "Grid cells submitted to the process pool.")
+        self.cache_hits = reg.counter(
+            "cache_hits_total", "Persistent result-cache hits.")
+        self.cache_misses = reg.counter(
+            "cache_misses_total", "Persistent result-cache misses.")
+        self.cache_stores = reg.counter(
+            "cache_stores_total", "Results persisted to the cache.")
+        self.cache_corrupt = reg.counter(
+            "cache_corrupt_total",
+            "Corrupt cache entries dropped and recomputed.")
+        self.inflight = reg.gauge(
+            "inflight_cells",
+            "Cells admitted and not yet completed (queued + executing).")
+        self.uptime = reg.gauge(
+            "uptime_seconds", "Seconds since service start.")
+        self.traces_inflight = reg.gauge(
+            "request_traces_inflight", "Request traces currently open.")
+        self.traces_total = reg.counter(
+            "request_traces_total", "Request traces completed.")
 
     def count_request(self, route: str, status: int) -> None:
-        key = (route, status)
-        self.requests_total[key] = self.requests_total.get(key, 0) + 1
+        self._requests.labels(route=route, status=str(status)).inc()
 
     def observe_latency(self, route: str, seconds: float) -> None:
-        hist = self.latency.get(route)
-        if hist is None:
-            hist = self.latency[route] = LogHistogram()
-        hist.record(seconds)
+        self._latency.labels(route=route).observe(seconds)
+
+    def count_coalesced(self) -> None:
+        self._coalesced.inc()
+
+    def count_shed(self) -> None:
+        self._shed.inc()
+
+    def count_timeout(self) -> None:
+        self._timeouts.inc()
+
+    def count_submission(self, cells: int) -> None:
+        self._submissions.inc()
+        self._cells.inc(cells)
+
+    # -- registry-agnostic read side (service + tests) -------------------
+
+    @property
+    def coalesced_total(self) -> int:
+        return int(self._coalesced.value)
+
+    @property
+    def shed_total(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def timeout_total(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def executor_submissions(self) -> int:
+        return int(self._submissions.value)
+
+    @property
+    def executor_cells(self) -> int:
+        return int(self._cells.value)
+
+    @property
+    def requests_total(self) -> Dict[Tuple[str, int], int]:
+        """(route, status) → count, rebuilt from the labelled counter."""
+        return {(values[0], int(values[1])): int(child.value)
+                for values, child in self._requests.children()}
 
 
 class SimulationService:
@@ -188,6 +273,9 @@ class SimulationService:
         self.config = config
         self.conf = conf
         self.stats = ServiceStats()
+        self.telemetry: Optional[RequestTelemetry] = (
+            RequestTelemetry(ring=config.trace_ring)
+            if config.telemetry else None)
         self.cache: Optional[ShardedResultCache] = None
         if not config.no_cache:
             self.cache = ShardedResultCache(config.cache_dir, config.shards)
@@ -196,8 +284,34 @@ class SimulationService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._inflight: Dict[str, asyncio.Future] = {}
         self._admitted = 0
-        self._queue: "asyncio.Queue[Tuple[str, RunKey]]" = asyncio.Queue()
+        # Queue entries are (key_hex, key, owning trace or None, enqueue
+        # perf-stamp or 0.0); the trace lets the drain loop attribute
+        # queue-wait and pool-execution spans to the admitting request.
+        self._queue: "asyncio.Queue[Tuple[str, RunKey, Optional[RequestTrace], float]]" = \
+            asyncio.Queue()
         self._drainers: List[asyncio.Task] = []
+
+    def sync_metrics(self) -> MetricsRegistry:
+        """Refresh externally-tallied instruments; returns the registry.
+
+        Cache hit/miss counts live on :class:`ShardedResultCache` (they
+        are summed over shards on read) and uptime is derived, so they
+        are mirrored into the registry at scrape time rather than
+        counted inline.
+        """
+        stats = self.stats
+        if self.cache is not None:
+            stats.cache_hits.sync(self.cache.hits)
+            stats.cache_misses.sync(self.cache.misses)
+            stats.cache_stores.sync(self.cache.stores)
+            stats.cache_corrupt.sync(self.cache.corrupt)
+        stats.inflight.set(self._admitted)
+        stats.uptime.set(time.time() - stats.started_at)
+        tel = self.telemetry
+        if tel is not None:
+            stats.traces_inflight.set(len(tel.inflight()))
+            stats.traces_total.sync(tel.completed)
+        return stats.registry
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -258,26 +372,25 @@ class SimulationService:
         # await-free, so the check-then-register sequence is atomic
         # under the event loop — two racing identical requests can
         # never both become the single flight.
+        trace = None
+        if self.telemetry is not None:
+            trace = reqtrace.current()
         key_hex = cache_key(key, self.conf)
         existing = self._inflight.get(key_hex)
         if existing is not None:
-            self.stats.coalesced_total += 1
-            return await self._await_result(existing), "coalesced"
+            self.stats.count_coalesced()
+            result = await self._await_result(existing, trace, joined=True)
+            return result, "coalesced"
 
         if self.cache is not None:
-            profiler = prof.ACTIVE
-            if profiler is not None:
-                with profiler.phase("serve.cache.get"):
-                    hit = self.cache.get(key_hex, key, self.conf)
-            else:
-                hit = self.cache.get(key_hex, key, self.conf)
+            hit = self._cache_get(key_hex, key, trace)
             if hit is not None:
                 return hit, "cache"
 
         if self.draining:
             raise Draining("service is draining")
         if self._admitted >= self.config.queue_limit:
-            self.stats.shed_total += 1
+            self.stats.count_shed()
             raise Overloaded(
                 f"admission queue full ({self.config.queue_limit} cells)")
 
@@ -290,19 +403,54 @@ class SimulationService:
             lambda f: f.exception() if not f.cancelled() else None)
         self._inflight[key_hex] = future
         self._admitted += 1
-        self._queue.put_nowait((key_hex, key))
-        return await self._await_result(future), "computed"
+        enq_t = time.perf_counter() if trace is not None else 0.0
+        self._queue.put_nowait((key_hex, key, trace, enq_t))
+        result = await self._await_result(future, trace, joined=False)
+        return result, "computed"
 
-    async def _await_result(self, future: asyncio.Future) -> JobResult:
+    def _cache_get(self, key_hex: str, key: RunKey,
+                   trace: Optional[RequestTrace]) -> Optional[JobResult]:
+        """Probe the persistent cache, timed on both wall-clock sinks."""
+        assert self.cache is not None
+        t0 = time.perf_counter()
+        profiler = prof.ACTIVE
+        if profiler is not None:
+            with profiler.phase("serve.cache.get"):
+                hit = self.cache.get(key_hex, key, self.conf)
+        else:
+            hit = self.cache.get(key_hex, key, self.conf)
+        if trace is not None:
+            trace.add_span("cache.get", t0, time.perf_counter(),
+                           hit=hit is not None)
+        return hit
+
+    async def _await_result(self, future: asyncio.Future,
+                            trace: Optional[RequestTrace] = None,
+                            joined: bool = False) -> JobResult:
+        """Wait for a shared in-flight future under the request deadline.
+
+        The ``coalesce.wait`` span covers both roles — the request that
+        admitted the computation (``joined=False``) and every identical
+        request riding along (``joined=True``) — so a slow trace shows
+        who waited on whom.
+        """
+        t0 = time.perf_counter() if trace is not None else 0.0
         try:
-            return await asyncio.wait_for(
+            result = await asyncio.wait_for(
                 asyncio.shield(future), self.config.request_timeout_s)
         except asyncio.TimeoutError:
-            self.stats.timeout_total += 1
+            self.stats.count_timeout()
+            if trace is not None:
+                trace.add_span("coalesce.wait", t0, time.perf_counter(),
+                               joined=joined, timeout=True)
             raise RequestTimeout(
                 f"no result within {self.config.request_timeout_s:g}s "
                 f"(the computation continues; retry to pick it up from "
                 f"the cache)") from None
+        if trace is not None:
+            trace.add_span("coalesce.wait", t0, time.perf_counter(),
+                           joined=joined)
+        return result
 
     async def submit_many(self, keys: Sequence[RunKey]
                           ) -> List[Tuple[JobResult, str]]:
@@ -330,21 +478,38 @@ class SimulationService:
         """One of ``workers`` loops: admit a micro-batch, run it, fan out."""
         assert self._loop is not None
         while True:
-            key_hex, key = await self._queue.get()
-            batch: List[Tuple[str, RunKey]] = [(key_hex, key)]
+            entry = await self._queue.get()
+            batch: List[Tuple[str, RunKey, Optional[RequestTrace], float]] = [entry]
             while len(batch) < self.config.batch_max:
                 try:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            self.stats.executor_submissions += 1
-            self.stats.executor_cells += len(batch)
+            self.stats.count_submission(len(batch))
+            pickup = time.perf_counter()
+            # Traced cells carry their request id through the pool as an
+            # opaque tag (worker-side it is pass-through data, so the
+            # worker stays wall-clock-free); untraced batches keep the
+            # tagless 2-tuple protocol and its smaller pickle.
+            tags = None
+            if any(tr is not None for _, _, tr, _ in batch):
+                tags = tuple(
+                    tr.id if tr is not None else ""
+                    for _, _, tr, _ in batch)
+                for _, _, tr, enq_t in batch:
+                    if tr is not None:
+                        tr.add_span("queue.wait", enq_t, pickup)
             profiler = prof.ACTIVE
             t0 = time.perf_counter() if profiler is not None else 0.0
             try:
-                pairs = await self._loop.run_in_executor(
-                    self._pool, simulate_batch,
-                    tuple(k for _, k in batch), self.conf)
+                if tags is None:
+                    pairs = await self._loop.run_in_executor(
+                        self._pool, simulate_batch,
+                        tuple(k for _, k, _, _ in batch), self.conf)
+                else:
+                    pairs = await self._loop.run_in_executor(
+                        self._pool, simulate_batch,
+                        tuple(k for _, k, _, _ in batch), self.conf, tags)
             except asyncio.CancelledError:
                 self._fail_batch(batch, Draining("service stopped"))
                 raise
@@ -356,23 +521,35 @@ class SimulationService:
                     batch, exc if isinstance(exc, ComputeError)
                     else ComputeError(batch[0][1], exc))
             else:
+                done = time.perf_counter()
                 if profiler is not None:
-                    profiler.record("serve.executor.batch",
-                                    time.perf_counter() - t0)
-                for (k_hex, k), (_key, result) in zip(batch, pairs):
+                    profiler.record("serve.executor.batch", done - t0)
+                for (k_hex, k, tr, _enq), computed in zip(batch, pairs):
+                    result = computed[1]
+                    if tr is not None:
+                        tag = computed[2] if len(computed) > 2 else None
+                        tr.add_span("pool.execute", pickup, done,
+                                    batch=len(batch), tag=tag)
                     if self.cache is not None:
+                        store_t = time.perf_counter() \
+                            if tr is not None else 0.0
                         try:
                             self.cache.put(k_hex, k, self.conf, result)
                         except OSError:
                             pass      # cache write failure is not a 5xx
+                        if tr is not None:
+                            tr.add_span("cache.store", store_t,
+                                        time.perf_counter())
                     future = self._inflight.pop(k_hex, None)
                     self._admitted -= 1
                     if future is not None and not future.done():
                         future.set_result(result)
 
-    def _fail_batch(self, batch: Sequence[Tuple[str, RunKey]],
+    def _fail_batch(self,
+                batch: Sequence[Tuple[str, RunKey,
+                                      Optional[RequestTrace], float]],
                     exc: BaseException) -> None:
-        for k_hex, _k in batch:
+        for k_hex, _k, _tr, _enq in batch:
             future = self._inflight.pop(k_hex, None)
             self._admitted -= 1
             if future is not None and not future.done():

@@ -319,6 +319,85 @@ class TestOBS001UnguardedHandle:
                 prof.ACTIVE.reset()
             """, relpath="src/repro/obs/helpers.py")
 
+    def test_positive_unguarded_reqtrace_active(self):
+        found = hits("OBS001", """\
+            from repro.obs import reqtrace
+            def f():
+                reqtrace.ACTIVE.start("/simulate")
+            """)
+        assert len(found) == 1 and "None" in found[0].message
+
+    def test_positive_unguarded_slog_active(self):
+        assert hits("OBS001", """\
+            from repro.obs import slog
+            def f():
+                slog.ACTIVE.log("event")
+            """)
+
+    def test_positive_unguarded_telemetry_attribute(self):
+        assert hits("OBS001", """\
+            def f(self):
+                self.service.telemetry.start("/simulate")
+            """)
+
+    def test_negative_guarded_telemetry_alias(self):
+        assert not hits("OBS001", """\
+            def f(self):
+                tel = self.service.telemetry
+                if tel is not None:
+                    tel.start("/simulate")
+            """)
+
+    def test_negative_slog_emit_is_not_a_handle_call(self):
+        # slog.emit() guards internally; only ACTIVE needs a site guard.
+        assert not hits("OBS001", """\
+            from repro.obs import slog
+            def f():
+                slog.emit("request.shed", route="/simulate")
+            """)
+
+
+class TestOBS001ResultTierTelemetryLeak:
+    def test_positive_registry_import_in_sim(self):
+        found = hits("OBS001", """\
+            from repro.obs.registry import MetricsRegistry
+            """, relpath=SIM)
+        assert found and "result-computing" in found[0].message
+
+    def test_positive_relative_reqtrace_import_in_mapreduce(self):
+        assert hits("OBS001", """\
+            from ..obs.reqtrace import RequestTelemetry
+            """, relpath="src/repro/mapreduce/example.py")
+
+    def test_positive_slog_submodule_import_in_cluster(self):
+        assert hits("OBS001", """\
+            from ..obs import slog
+            """, relpath="src/repro/cluster/example.py")
+
+    def test_positive_telemetry_type_use_in_arch(self):
+        assert hits("OBS001", """\
+            def f():
+                registry = MetricsRegistry()
+                return registry
+            """, relpath="src/repro/arch/example.py")
+
+    def test_negative_same_code_in_serve_tier(self):
+        assert not hits("OBS001", """\
+            from repro.obs.registry import MetricsRegistry
+            registry = MetricsRegistry()
+            """, relpath="src/repro/serve/example.py")
+
+    def test_negative_prof_import_still_allowed_in_sim(self):
+        # The per-phase profiler is sanctioned in the model packages;
+        # only the request-telemetry trio is tier-restricted.
+        assert not hits("OBS001", """\
+            from ..obs import prof
+            def f():
+                profiler = prof.ACTIVE
+                if profiler is not None:
+                    profiler.count("x")
+            """, relpath=SIM)
+
 
 class TestDOC001BrokenLink:
     def test_positive_broken_relative_link(self, tmp_path):

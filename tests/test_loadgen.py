@@ -9,7 +9,7 @@ import json
 
 import pytest
 
-from repro.loadgen.client import run_load
+from repro.loadgen.client import LoadReport, run_load
 from repro.loadgen.generator import (LoadConfig, build_trace, trace_lines,
                                      unique_bodies)
 from repro.serve.run import start_stack, stop_stack
@@ -102,6 +102,43 @@ class TestTraceShape:
             LoadConfig(mode="open", rate_per_s=0.0)
 
 
+class TestReportFields:
+    def test_route_errors_tally_by_class(self):
+        report = LoadReport()
+        report.count_route_error("/simulate", "shed")
+        report.count_route_error("/simulate", "shed")
+        report.count_route_error("/simulate", "timeout")
+        report.count_route_error("/compare", "transport")
+        assert report.route_errors == {
+            "/simulate": {"shed": 2, "timeout": 1},
+            "/compare": {"transport": 1},
+        }
+        payload = report.to_dict()
+        assert payload["route_errors"]["/simulate"] == {
+            "shed": 2, "timeout": 1}
+
+    def test_slowest_keeps_the_worst_request_per_route(self):
+        report = LoadReport()
+        report.note_latency("/simulate", 0.010, 200, "tok-000001")
+        report.note_latency("/simulate", 0.250, 200, "tok-000007")
+        report.note_latency("/simulate", 0.050, 200, "tok-000009")
+        report.note_latency("/compare", 0.040, None, None)  # transport
+        assert report.slowest["/simulate"] == {
+            "request_id": "tok-000007", "status": 200, "latency_s": 0.25}
+        assert report.slowest["/compare"]["request_id"] is None
+        payload = report.to_dict()
+        assert payload["slowest"]["/simulate"]["request_id"] == "tok-000007"
+
+    def test_render_mentions_slowest_and_error_classes(self):
+        report = LoadReport(requests=2, ok=1)
+        report.note_latency("/simulate", 0.2, 200, "tok-000003")
+        report.count_route_error("/simulate", "shed")
+        text = report.render()
+        assert "slowest /simulate" in text
+        assert "tok-000003" in text
+        assert "errors /simulate: shed=1" in text
+
+
 class TestEndToEnd:
     def test_seeded_replay_has_zero_errors_and_coalesces(self, tmp_path):
         # Tiny key space (3 distinct bodies) + burst concurrency: the
@@ -133,3 +170,8 @@ class TestEndToEnd:
         payload = report.to_dict()
         assert payload["qps"] > 0
         assert payload["key_space"] == unique_bodies(trace)
+        # Telemetry is on by default: every route's slowest request
+        # carries the trace id the server minted for it.
+        assert payload["slowest"]
+        for worst in payload["slowest"].values():
+            assert worst["request_id"]

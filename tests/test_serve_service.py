@@ -17,6 +17,7 @@ from repro.analysis.executor import cache_key
 from repro.core.characterization import RunKey, simulate_cell
 from repro.core.metrics import edxp
 from repro.loadgen.client import _Connection
+from repro.obs.registry import parse_exposition
 from repro.serve.run import start_stack, stop_stack
 from repro.serve.service import (Draining, Overloaded, RequestTimeout,
                                  ServiceConfig, SimulationService)
@@ -426,7 +427,9 @@ def test_metrics_exposes_both_formats(tmp_path):
     payload = json.loads(j_body)
     assert payload["executor_cells_total"] == 1
     assert payload["requests_total"]["/simulate 200"] == 1
-    assert "/simulate" in payload["latency"]
+    assert "/simulate" in payload["request_latency_seconds"]
+    # The text form must be valid exposition format, not just greppable.
+    parse_exposition(t_body.decode("utf-8"))
 
 
 def test_graceful_stop_stack_drains_cleanly(tmp_path):

@@ -170,7 +170,7 @@ def fig2_edxp_suites(ch: Optional[Characterizer] = None) -> Experiment:
             # Suite dicts are literals: insertion order is fixed, and
             # re-sorting would change the FP summation order behind the
             # published per-suite averages.
-            for profile in suite.values():  # detlint: disable=DET004 -- literal dict, fixed order
+            for profile in suite.values():
                 runs = {m: run_traditional(specs[m], profile)
                         for m in MACHINES}
                 per_bench.append(

@@ -132,7 +132,7 @@ def sweep(characterizer: Optional[Characterizer] = None,
     ch = characterizer if characterizer is not None else Characterizer()
     # Axis order is the caller's kwargs order by design (it names the
     # cell-tuple layout); kwargs dicts iterate deterministically.
-    names = tuple(axes.keys())  # detlint: disable=DET004 -- kwargs order is the API
+    names = tuple(axes.keys())
     cells = [tuple(values) for values in itertools.product(*axes.values())]
     keys = [RunKey(**dict(zip(names, values))) for values in cells]
     ch.run_many(keys, jobs=jobs)

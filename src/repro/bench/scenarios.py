@@ -284,6 +284,25 @@ def datacenter_small(ctx: ScenarioContext) -> Dict[str, float]:
                                    if fifo.cluster_edp else 0.0)}
 
 
+def lint_tree_scenario(ctx: ScenarioContext) -> Dict[str, float]:
+    """Full-tree determinism/architecture lint over this checkout.
+
+    Pins the linter's own wall time: the taint-dataflow pass (DET006
+    and the flow-backed DET003/4/5 upgrades) must keep whole-tree lint
+    under ~2x its pre-dataflow runtime, and this scenario is where
+    that budget is enforced — a fixpoint blow-up or an accidentally
+    quadratic rule shows up here before it shows up in every CI run.
+    The measured tree is the live checkout, so ``files`` drifts as the
+    repo grows; the gate judges the median wall time, not the counts.
+    """
+    from ..lint.engine import find_repo_root, lint_tree
+
+    result = lint_tree(find_repo_root())
+    return {"files": float(result.files_checked),
+            "findings": float(len(result.findings)),
+            "suppressed": float(result.suppressed)}
+
+
 def profiler_overhead(ctx: ScenarioContext) -> Dict[str, float]:
     """Self-check: wall cost of the same job with profiling off vs on.
 
@@ -346,6 +365,9 @@ SCENARIOS: List[Scenario] = [
     Scenario("trace.export", "macro",
              "Perfetto JSON + timeline CSV + text summary of a traced run",
              trace_export, profile=False),
+    Scenario("lint.tree", "macro",
+             "full-tree determinism/architecture lint (dataflow + ARCH001)",
+             lint_tree_scenario, profile=False),
     Scenario("prof.overhead", "self",
              "profiler-overhead self-check (same job, profiling off vs on)",
              profiler_overhead, profile=False),

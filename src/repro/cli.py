@@ -198,6 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(for CI artifacts)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only files changed since "
+                           "merge-base(HEAD, origin/main); falls back "
+                           "to the full tree outside a git repo")
+    lint.add_argument("--graph", choices=["dot", "json"], default=None,
+                      help="dump the src/repro import graph (with tier "
+                           "assignments from import-contract.json) and "
+                           "exit")
 
     serve = sub.add_parser(
         "serve", help="run the async what-if HTTP API "
@@ -797,7 +805,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline_path=args.baseline,
             update_baseline=args.update_baseline,
             no_baseline=args.no_baseline, root=args.root,
-            output=args.output, list_rules=args.list_rules)
+            output=args.output, list_rules=args.list_rules,
+            changed=args.changed, graph=args.graph)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadtest":

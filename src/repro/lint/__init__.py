@@ -6,9 +6,13 @@ diff jobs in CI verify that property end-to-end but only *after* a full
 sweep; this package catches the underlying bug classes statically, at
 commit time: salted ``hash()`` (DET001), unseeded randomness (DET002),
 wall-clock reads in model code (DET003), unordered iteration feeding
-ordered output (DET004), unsorted directory listings (DET005), host I/O
-inside pure model code (PURE001), unguarded observability handles
-(OBS001) and broken doc links (DOC001).
+ordered output (DET004), unsorted directory listings (DET005), tainted
+values flowing through locals into export sinks (DET006), import-layer
+contract violations and cycles (ARCH001), host I/O inside pure model
+code (PURE001), unguarded observability handles (OBS001) and broken doc
+links (DOC001).  DET003–DET006 share an intraprocedural taint dataflow
+engine (:mod:`repro.lint.taint`); ARCH001 is backed by the import graph
+in :mod:`repro.lint.layers`.
 
 Entry points:
 
@@ -25,12 +29,17 @@ from .baseline import Baseline, load_baseline, split_findings
 from .engine import (LintResult, discover_files, find_repo_root,
                      lint_source, lint_tree)
 from .findings import Finding
-from .registry import FileContext, Rule, all_rules, get_rule, register
+from .layers import Contract, ModuleGraph, load_contract
+from .registry import (FileContext, ProjectContext, Rule, all_rules,
+                       get_rule, register)
 from .suppress import parse_suppressions
+from .taint import ModuleDataflow, analyze, dataflow_of
 
 __all__ = [
-    "Baseline", "FileContext", "Finding", "LintResult", "Rule",
-    "all_rules", "discover_files", "find_repo_root", "get_rule",
-    "lint_source", "lint_tree", "load_baseline", "parse_suppressions",
-    "register", "split_findings",
+    "Baseline", "Contract", "FileContext", "Finding", "LintResult",
+    "ModuleDataflow", "ModuleGraph", "ProjectContext", "Rule",
+    "all_rules", "analyze", "dataflow_of", "discover_files",
+    "find_repo_root",
+    "get_rule", "lint_source", "lint_tree", "load_baseline",
+    "load_contract", "parse_suppressions", "register", "split_findings",
 ]

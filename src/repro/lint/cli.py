@@ -21,6 +21,7 @@ Output formats: ``text`` (one line per finding, gcc-style) and ``json``
 from __future__ import annotations
 
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -69,6 +70,40 @@ def _render_text(report: dict) -> str:
     return "\n".join(lines)
 
 
+def changed_files(root: Path) -> Optional[List[str]]:
+    """Repo-relative paths differing from ``merge-base(HEAD, origin/main)``.
+
+    Returns ``None`` when git is unavailable, *root* is not a work
+    tree, or ``origin/main`` is unknown (shallow clone without the
+    remote ref) — callers fall back to the full tree.  Covers
+    committed, staged and unstaged changes relative to the merge base.
+    """
+    def git(*argv: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(root), *argv],
+                capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout
+
+    base = git("merge-base", "HEAD", "origin/main")
+    if base is None:
+        # Local clones (and CI on the default branch) may lack the
+        # remote-tracking ref; a bare HEAD diff still covers the
+        # uncommitted working set.
+        base = git("rev-parse", "HEAD")
+    if base is None:
+        return None
+    diff = git("diff", "--name-only", base.strip())
+    if diff is None:
+        return None
+    return sorted({line.strip() for line in diff.splitlines()
+                   if line.strip()})
+
+
 def run_lint(paths: Sequence[str] = (),
              output_format: str = "text",
              baseline_path: Optional[str] = None,
@@ -77,6 +112,8 @@ def run_lint(paths: Sequence[str] = (),
              root: Optional[str] = None,
              output: Optional[str] = None,
              list_rules: bool = False,
+             changed: bool = False,
+             graph: Optional[str] = None,
              stdout=None) -> int:
     """Run the linter; returns the process exit code."""
     out = stdout if stdout is not None else sys.stdout
@@ -93,7 +130,37 @@ def run_lint(paths: Sequence[str] = (),
               f"directory", file=sys.stderr)
         return 2
 
-    result = lint_tree(repo_root, paths=list(paths) or None)
+    if graph is not None:
+        from .layers import ModuleGraph, load_contract
+        module_graph = ModuleGraph.build(repo_root)
+        contract = load_contract(repo_root)
+        if graph == "dot":
+            out.write(module_graph.to_dot(contract))
+        else:
+            json.dump(module_graph.to_json(contract), out, indent=2,
+                      sort_keys=True)
+            out.write("\n")
+        return 0
+
+    lint_paths: Optional[List[str]] = list(paths) or None
+    if changed:
+        subset = changed_files(repo_root)
+        if subset is None:
+            print("lint: --changed: not a git repo (or no "
+                  "origin/main); linting the full tree", file=out)
+        else:
+            lintable = [p for p in subset
+                        if p.endswith((".py", ".md"))
+                        and (repo_root / p).exists()]
+            if not lintable:
+                print("lint: --changed: no lintable files differ from "
+                      "the merge base", file=out)
+                return 0
+            print(f"lint: --changed: {len(lintable)} file(s) since "
+                  f"the merge base", file=out)
+            lint_paths = lintable
+
+    result = lint_tree(repo_root, paths=lint_paths)
 
     baseline_file = (Path(baseline_path) if baseline_path is not None
                      else repo_root / DEFAULT_BASELINE_NAME)

@@ -14,8 +14,8 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .findings import Finding
-from .registry import FileContext, Rule, all_rules
-from .suppress import parse_suppressions
+from .registry import FileContext, ProjectContext, Rule, all_rules
+from .suppress import Suppressions, parse_suppressions
 
 __all__ = ["LintResult", "find_repo_root", "discover_files", "lint_tree",
            "lint_source", "DEFAULT_PY_ROOTS", "MD_EXCLUDE"]
@@ -106,10 +106,14 @@ def discover_files(root: Path,
 
 
 def _check_file(root: Path, relpath: str, rules: Sequence[Rule],
-                result: LintResult) -> None:
+                result: LintResult,
+                contexts: List[FileContext],
+                suppressions_by_path: dict) -> None:
     path = root / relpath
     try:
-        text = path.read_text(encoding="utf-8")
+        # utf-8-sig transparently strips a BOM (plain utf-8 would feed
+        # the parser a leading U+FEFF, which is a syntax error).
+        text = path.read_text(encoding="utf-8-sig")
     except (OSError, UnicodeDecodeError) as exc:
         result.findings.append(Finding(
             rule_id="LINT000", path=relpath, line=1, col=0,
@@ -122,6 +126,7 @@ def _check_file(root: Path, relpath: str, rules: Sequence[Rule],
     if not applicable:
         return
     result.files_checked += 1
+    contexts.append(ctx)
     if kind == "python" and ctx.parse_error is not None:
         err = ctx.parse_error
         result.findings.append(Finding(
@@ -129,6 +134,12 @@ def _check_file(root: Path, relpath: str, rules: Sequence[Rule],
             col=(err.offset or 1) - 1, message=f"syntax error: {err.msg}"))
         return
     suppressions = parse_suppressions(text)
+    suppressions_by_path[relpath] = suppressions
+    if kind == "python":
+        # Markdown legitimately *documents* directive syntax with
+        # placeholder ids; only real sources get typo validation.
+        for warning in suppressions.directive_warnings(relpath):
+            result.findings.append(warning)
     for rule in applicable:
         for finding in rule.check(ctx):
             if suppressions.is_suppressed(finding.rule_id, finding.line):
@@ -139,11 +150,33 @@ def _check_file(root: Path, relpath: str, rules: Sequence[Rule],
 
 def lint_tree(root: Path, paths: Optional[Sequence[str]] = None,
               rules: Optional[Sequence[Rule]] = None) -> LintResult:
-    """Lint the tree under *root*; returns sorted findings."""
+    """Lint the tree under *root*; returns sorted findings.
+
+    Per-file rules run first; rules flagged ``project = True`` then get
+    one :class:`ProjectContext` over every file context the per-file
+    pass built (project rules always see the whole tree, even when
+    *paths* narrows the per-file pass — cross-file properties like
+    import cycles are not meaningful on a subset).
+    """
     rules = list(rules) if rules is not None else all_rules()
     result = LintResult()
+    contexts: List[FileContext] = []
+    suppressions_by_path: dict = {}
     for relpath in discover_files(root, paths):
-        _check_file(root, relpath, rules, result)
+        _check_file(root, relpath, rules, result, contexts,
+                    suppressions_by_path)
+    project_rules = [r for r in rules if r.project]
+    if project_rules:
+        project = ProjectContext(root, contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                suppressions = suppressions_by_path.get(
+                    finding.path, Suppressions.empty())
+                if suppressions.is_suppressed(finding.rule_id,
+                                              finding.line):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
     result.findings.sort(key=lambda f: f.sort_key)
     return result
 

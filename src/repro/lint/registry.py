@@ -16,7 +16,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from .findings import Finding
 
-__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule"]
+__all__ = ["FileContext", "ProjectContext", "Rule", "register",
+           "all_rules", "get_rule"]
 
 
 class FileContext:
@@ -28,6 +29,7 @@ class FileContext:
         self.root = root  # repo root; None for in-memory snippets
         self._tree: Optional[ast.Module] = None
         self._parse_error: Optional[SyntaxError] = None
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
 
     @property
     def tree(self) -> Optional[ast.Module]:
@@ -44,6 +46,42 @@ class FileContext:
         self.tree  # trigger the parse
         return self._parse_error
 
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent map over :attr:`tree`, built once per file.
+
+        Several rules need ancestor walks; sharing one map keeps the
+        whole-tree lint inside its wall-clock budget (the map is the
+        second-hottest allocation after parsing itself).
+        """
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            tree = self.tree
+            if tree is not None:
+                for parent in ast.walk(tree):
+                    for child in ast.iter_child_nodes(parent):
+                        parents[child] = parent
+            self._parents = parents
+        return self._parents
+
+
+class ProjectContext:
+    """The whole tree, for rules that need cross-file state.
+
+    Holds every :class:`FileContext` the engine built during the
+    per-file pass, so a project rule (``Rule.project = True``) can see
+    all parsed ASTs without re-reading anything.
+    """
+
+    def __init__(self, root: Optional[Path],
+                 contexts: Sequence[FileContext]):
+        self.root = root
+        self.contexts = list(contexts)
+
+    def python_contexts(self) -> List[FileContext]:
+        return [ctx for ctx in self.contexts
+                if ctx.relpath.endswith(".py")]
+
 
 class Rule:
     """Base class for lint rules.
@@ -52,6 +90,12 @@ class Rule:
     :meth:`check`.  ``kind`` selects which files the engine feeds the
     rule: ``"python"`` rules see ``*.py`` with a parsed AST,
     ``"markdown"`` rules see ``*.md`` text.
+
+    A rule with ``project = True`` additionally implements
+    :meth:`check_project`, which the engine calls once per run with a
+    :class:`ProjectContext` after the per-file pass; its findings go
+    through the same suppression/baseline pipeline keyed by each
+    finding's ``path``.
     """
 
     id: str = ""
@@ -59,6 +103,8 @@ class Rule:
     description: str = ""
     severity: str = "error"
     kind: str = "python"
+    #: True when the rule also runs once over the whole tree.
+    project: bool = False
     #: Path prefixes (POSIX, repo-root-relative) the rule applies to.
     #: Empty means every file of the rule's kind.
     include: Tuple[str, ...] = ()
@@ -72,6 +118,11 @@ class Rule:
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         raise NotImplementedError
+
+    def check_project(self,
+                      project: ProjectContext) -> Iterable[Finding]:
+        """Whole-tree findings; only called when ``project`` is True."""
+        return ()
 
     def finding(self, ctx: FileContext, node: ast.AST,
                 message: str) -> Finding:

@@ -1,4 +1,4 @@
-"""Determinism rules (DET001-DET005).
+"""Determinism rules (DET001-DET006).
 
 These encode the repo's headline guarantee — byte-identical sweep /
 trace / CSV outputs at any ``--jobs``, on any platform, for the same
@@ -6,6 +6,18 @@ seed — as static checks.  Each rule targets a hazard class that has
 either already bitten this repo (DET001: the PYTHONHASHSEED ``hash()``
 partitioner/replica-picker bug fixed in PR 1) or is one refactor away
 from doing so.
+
+Since the dataflow engine landed, DET003/DET004/DET005 are *flow-
+backed*: on top of their original syntactic patterns they consult
+:func:`repro.lint.taint.dataflow_of`, which both catches the one-hop-
+variable spellings the syntactic patterns miss (``clock =
+time.perf_counter; clock()``, ``s = set(...); for x in s: out.append``)
+and *proves safe* sites the syntactic patterns over-flag (views of
+dicts with deterministic insertion order, directory listings that are
+only ever counted or sorted).  DET006 is pure dataflow: it reports
+nondeterministic *values* — wall-clock reads, unseeded RNG draws,
+salted ``hash()`` — that reach a deterministic-output sink through any
+chain of local assignments.
 """
 
 from __future__ import annotations
@@ -13,13 +25,15 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, List, Optional
 
-from ..astutil import (dotted_name, in_order_insensitive_context,
-                       parent_map)
+from ..astutil import dotted_name, in_order_insensitive_context
 from ..findings import Finding
 from ..registry import FileContext, Rule, register
+from ..taint import (GLOBAL_RANDOM_FNS, LISTING_CALLS, LISTING_METHODS,
+                     WALL_CLOCK_CALLS, WALL_CLOCK_FROM_TIME, dataflow_of)
 
 __all__ = ["BareHashRule", "UnseededRandomRule", "WallClockRule",
-           "UnsortedSetIterationRule", "UnsortedDirListingRule"]
+           "UnsortedSetIterationRule", "UnsortedDirListingRule",
+           "TaintedSinkRule"]
 
 
 @register
@@ -46,17 +60,6 @@ class BareHashRule(Rule):
                     "builtin hash() is PYTHONHASHSEED-randomized and "
                     "differs across worker processes; use zlib.crc32 or "
                     "a SHA-256 draw (see sim/faults.py)")
-
-
-#: ``random`` module-level functions that draw from (or mutate) the
-#: hidden global RNG, which is shared process state.
-_GLOBAL_RANDOM_FNS = frozenset({
-    "random", "randint", "randrange", "getrandbits", "randbytes",
-    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
-    "betavariate", "expovariate", "gammavariate", "gauss",
-    "lognormvariate", "normalvariate", "vonmisesvariate",
-    "paretovariate", "weibullvariate", "seed",
-})
 
 
 @register
@@ -86,7 +89,7 @@ class UnseededRandomRule(Rule):
                     "random.Random() without a seed draws from OS "
                     "entropy; pass an explicit seed")
             elif (name.startswith("random.")
-                    and name.split(".", 1)[1] in _GLOBAL_RANDOM_FNS):
+                    and name.split(".", 1)[1] in GLOBAL_RANDOM_FNS):
                 yield self.finding(
                     ctx, node,
                     f"{name}() uses the shared module-level RNG (global "
@@ -107,32 +110,14 @@ class UnseededRandomRule(Rule):
                     "pass an explicit seed")
 
 
-#: Wall-clock reads by dotted name.  ``datetime.now`` covers the
-#: ``from datetime import datetime`` spelling.
-_WALL_CLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
-})
-
-#: Names importable ``from time import ...`` that read the wall clock.
-_WALL_CLOCK_FROM_TIME = frozenset({
-    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
-    "perf_counter_ns", "process_time", "process_time_ns",
-    "clock_gettime", "clock_gettime_ns",
-})
-
-
 @register
 class WallClockRule(Rule):
     """DET003: simulated components must not read the host clock.
 
     Simulation time is ``sim.now``; host-cost measurement belongs to
     the opt-in profiler (``obs/prof.py``), which is the one sanctioned
-    wall-clock reader.
+    wall-clock reader.  The flow-backed half also catches calls through
+    a stored *reference* (``clock = time.perf_counter; clock()``).
     """
 
     id = "DET003"
@@ -159,7 +144,7 @@ class WallClockRule(Rule):
         for node in ast.walk(tree):
             if isinstance(node, ast.ImportFrom) and node.module == "time":
                 for alias in node.names:
-                    if alias.name in _WALL_CLOCK_FROM_TIME:
+                    if alias.name in WALL_CLOCK_FROM_TIME:
                         local = alias.asname or alias.name
                         aliased[local] = f"time.{alias.name}"
         for node in ast.walk(tree):
@@ -169,12 +154,19 @@ class WallClockRule(Rule):
             if name is None:
                 continue
             origin = aliased.get(name, name)
-            if origin in _WALL_CLOCK_CALLS:
+            if origin in WALL_CLOCK_CALLS:
                 yield self.finding(
                     ctx, node,
                     f"{origin}() reads the host clock inside model code; "
                     f"use sim.now for simulated time or the obs/prof.py "
                     f"profiler for host cost")
+        # Flow-backed: calls through a stored wall-clock reference.
+        for node, shown in dataflow_of(ctx).clock_alias_calls:
+            yield self.finding(
+                ctx, node,
+                f"{shown}() calls a stored wall-clock function reference "
+                f"inside model code; use sim.now for simulated time or "
+                f"the obs/prof.py profiler for host cost")
 
 
 #: ``x.<method>(unordered)`` / ``<builtin>(unordered)`` argument sinks
@@ -182,6 +174,9 @@ class WallClockRule(Rule):
 _SINK_METHODS = frozenset({"join", "writerow", "writerows", "writelines",
                            "extend", "append", "write"})
 _SINK_BUILTINS = frozenset({"list", "tuple"})
+
+_SET_SHAPE_DESC = {"set": "a set (hash order)",
+                   "dict_view": "a dict view of unproven insertion order"}
 
 
 def _unordered_desc(node: ast.AST) -> Optional[str]:
@@ -232,7 +227,14 @@ def _body_sink(body: List[ast.stmt]) -> Optional[ast.AST]:
 
 @register
 class UnsortedSetIterationRule(Rule):
-    """DET004: unordered iteration must not feed ordered output."""
+    """DET004: unordered iteration must not feed ordered output.
+
+    Flow-backed in both directions: dict views whose receiver the
+    dataflow engine proves to have deterministic insertion order (dict
+    displays, ``**kwargs``, resolved module-level dict constants) are
+    *not* flagged, while loops and sinks fed unordered data through an
+    intermediate variable *are*.
+    """
 
     id = "DET004"
     name = "unsorted-set-iteration"
@@ -245,14 +247,49 @@ class UnsortedSetIterationRule(Rule):
         tree = ctx.tree
         if tree is None:
             return
-        parents = parent_map(tree)
+        flow = dataflow_of(ctx)
+        parents = ctx.parents
         for node in ast.walk(tree):
             desc = _unordered_desc(node)
             if desc is None:
                 continue
+            if desc.startswith("dict.") and id(node) in flow.proven_views:
+                continue
             hit = self._consumes_unordered(node, desc, parents)
             if hit is not None:
                 yield self.finding(ctx, node, hit)
+        # Flow-backed: a loop over a *variable* holding unordered data,
+        # feeding an order-sensitive sink in its body.
+        loop_iters = sorted(flow.loop_iter_facts.values(),
+                            key=lambda pair: (pair[0].lineno,
+                                              pair[0].col_offset))
+        for loop, facts in loop_iters:
+            if _body_sink(loop.body) is None:
+                continue
+            desc = self._flow_desc(facts)
+            if desc is not None:
+                yield self.finding(
+                    ctx, loop.iter,
+                    f"loop over a variable holding {desc} feeds an "
+                    f"order-sensitive sink; iterate sorted(...) instead")
+        # Flow-backed: materialized set/dict-view order reaching a sink
+        # through assignments (``xs = list(s); out.extend(xs)``).
+        for hit in flow.order_hits:
+            if hit.taint.kind != "setorder":
+                continue
+            yield self.finding(
+                ctx, hit.node,
+                f"value ordered by {hit.taint.what} reaches {hit.sink} "
+                f"through a variable; sort before emitting")
+
+    def _flow_desc(self, facts) -> Optional[str]:
+        kinds = {getattr(f, "kind", None) for f in facts}
+        for kind in ("set", "dict_view"):
+            if kind in kinds:
+                return _SET_SHAPE_DESC[kind]
+        if "setorder" in kinds:
+            return "a set-ordered sequence"
+        return None
 
     def _consumes_unordered(self, node: ast.AST, desc: str,
                             parents) -> Optional[str]:
@@ -291,15 +328,15 @@ class UnsortedSetIterationRule(Rule):
         return None
 
 
-#: Directory-listing calls whose order is filesystem-dependent.
-_LISTING_CALLS = frozenset({"os.listdir", "os.scandir",
-                            "glob.glob", "glob.iglob"})
-_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
-
-
 @register
 class UnsortedDirListingRule(Rule):
-    """DET005: directory listings must be sorted before use."""
+    """DET005: directory listings must be sorted before use.
+
+    Flow-backed prove-safe: a listing whose result the dataflow engine
+    shows is only ever counted, summed, or sorted — never iterated,
+    emitted, stored beyond the function, or passed to unknown code —
+    is not flagged.
+    """
 
     id = "DET005"
     name = "unsorted-dir-listing"
@@ -312,20 +349,63 @@ class UnsortedDirListingRule(Rule):
         tree = ctx.tree
         if tree is None:
             return
-        parents = parent_map(tree)
+        flow = dataflow_of(ctx)
+        parents = ctx.parents
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
-            is_listing = name in _LISTING_CALLS or (
+            is_listing = name in LISTING_CALLS or (
                 isinstance(node.func, ast.Attribute)
-                and node.func.attr in _LISTING_METHODS)
+                and node.func.attr in LISTING_METHODS)
             if not is_listing:
                 continue
             if in_order_insensitive_context(node, parents):
+                continue
+            if id(node) in flow.safe_listings:
                 continue
             shown = name or f".{node.func.attr}(...)"
             yield self.finding(
                 ctx, node,
                 f"{shown} yields entries in filesystem order; wrap the "
                 f"call in sorted() before iterating or counting on order")
+
+
+@register
+class TaintedSinkRule(Rule):
+    """DET006: a nondeterministic *value* reaches an output sink.
+
+    Pure dataflow.  Wall-clock reads, unseeded RNG draws and salted
+    ``hash()`` results are tracked through local assignments, tuple
+    unpacking, arithmetic and branches; reaching ``yield``, ``return``,
+    ``.append``/``.extend``/``.write*``/``.join`` or a CSV writer is a
+    finding even when the source call sits many statements away.  This
+    is the rule that catches ``t = time.time(); ...; rows.append(t)`` —
+    invisible to the per-node syntactic rules.
+    """
+
+    id = "DET006"
+    name = "tainted-value-at-sink"
+    description = ("a wall-clock / unseeded-RNG / hash() value flowing "
+                   "into yield, return, append or a writer makes output "
+                   "content depend on host state; thread sim.now or a "
+                   "seeded RNG through instead")
+    #: Result-producing tiers only: everything whose output feeds the
+    #: paper's tables.  Traffic plumbing (serve/loadgen except the two
+    #: deterministic files), observability, bench timing and the lint
+    #: framework legitimately handle wall-clock values.
+    include = ("src/repro/sim", "src/repro/mapreduce", "src/repro/hdfs",
+               "src/repro/arch", "src/repro/cluster", "src/repro/core",
+               "src/repro/workloads", "src/repro/analysis",
+               "src/repro/serve/work.py", "src/repro/loadgen/generator.py")
+    exclude = ("src/repro/obs",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        for hit in dataflow_of(ctx).value_hits:
+            yield self.finding(
+                ctx, hit.node,
+                f"value derived from {hit.taint.what} reaches {hit.sink}; "
+                f"nondeterministic content in deterministic output — use "
+                f"sim.now / a seeded RNG / zlib.crc32 at the source")

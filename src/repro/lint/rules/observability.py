@@ -32,7 +32,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional, Set
 
-from ..astutil import ancestors, dotted_name, parent_map
+from ..astutil import ancestors, dotted_name
 from ..findings import Finding
 from ..registry import FileContext, Rule, register
 
@@ -108,7 +108,7 @@ class UnguardedObsHandleRule(Rule):
             return
         if any(ctx.relpath.startswith(prefix) for prefix in _RESULT_TIER):
             yield from self._check_result_tier(ctx, tree)
-        parents = parent_map(tree)
+        parents = ctx.parents
         aliases = self._handle_aliases(tree)
         for node in ast.walk(tree):
             if not (isinstance(node, ast.Call)

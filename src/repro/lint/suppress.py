@@ -3,17 +3,27 @@
 Two forms, mirroring the ``# noqa`` / ``# pylint: disable`` convention:
 
 * ``# detlint: disable=DET001`` — suppress the named rule(s) on *this
-  line* (comma-separated ids, or ``all``).  Attach it to the offending
-  line together with a short justification::
+  statement* (comma-separated ids, or ``all``).  Attach it to the
+  offending line together with a short justification::
 
       entries = list(bucket.glob("*.pkl"))  # detlint: disable=DET005 -- count only
 
+  The directive covers the whole *logical* line: on a statement that
+  spans several physical lines (a wrapped call, a decorated ``def``
+  with multi-line arguments) the comment may sit on any of them and
+  still suppress a finding anchored at the statement's first line.
+
 * ``# detlint: disable-file=DET004`` — suppress the rule(s) for the
-  whole file.  Put it near the top of the module with a comment
-  explaining why the file is exempt.
+  whole file, wherever the directive appears.  Put it near the top of
+  the module with a comment explaining why the file is exempt.
 
 Everything after ``--`` in the directive is a free-form justification
 and is ignored by the parser (but expected by reviewers).
+
+A directive naming a rule id the registry does not know produces a
+LINT001 *warning* (it does not gate the run, but it does surface in
+the report): a typo in a suppression must not silently suppress
+nothing while looking load-bearing.
 """
 
 from __future__ import annotations
@@ -21,7 +31,9 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Iterator, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from .findings import Finding
 
 __all__ = ["Suppressions", "parse_suppressions"]
 
@@ -30,20 +42,51 @@ _DIRECTIVE_RE = re.compile(
 
 ALL = "all"
 
+#: Engine-reserved pseudo-rule ids a directive may legitimately name.
+_PSEUDO_RULES = frozenset({"LINT000", "LINT001"})
+
 
 class Suppressions:
     """Parsed suppression directives for one file."""
 
     def __init__(self, by_line: Dict[int, FrozenSet[str]],
-                 file_wide: FrozenSet[str]):
+                 file_wide: FrozenSet[str],
+                 directives: Tuple[Tuple[int, FrozenSet[str]], ...] = ()):
         self._by_line = by_line
         self._file_wide = file_wide
+        #: Raw ``(lineno, rule ids)`` pairs, for validation.
+        self._directives = directives
+
+    @classmethod
+    def empty(cls) -> "Suppressions":
+        return cls({}, frozenset())
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if ALL in self._file_wide or rule_id in self._file_wide:
             return True
         rules = self._by_line.get(line)
         return rules is not None and (ALL in rules or rule_id in rules)
+
+    def directive_warnings(self, relpath: str) -> List[Finding]:
+        """LINT001 warnings for directives naming unknown rule ids."""
+        unknown: List[Tuple[int, str]] = []
+        known = None
+        for lineno, rules in self._directives:
+            for rule_id in sorted(rules):
+                if rule_id == ALL or rule_id in _PSEUDO_RULES:
+                    continue
+                if known is None:
+                    from .registry import all_rules
+                    known = {rule.id for rule in all_rules()}
+                if rule_id not in known:
+                    unknown.append((lineno, rule_id))
+        return [Finding(
+            rule_id="LINT001", path=relpath, line=lineno, col=0,
+            severity="warning",
+            message=(f"detlint directive names unknown rule id "
+                     f"'{rule_id}'; the suppression has no effect "
+                     f"(known ids are listed by `lint --list-rules`)"))
+            for lineno, rule_id in unknown]
 
 
 def _parse_rule_list(raw: str) -> FrozenSet[str]:
@@ -53,28 +96,60 @@ def _parse_rule_list(raw: str) -> FrozenSet[str]:
         for part in raw.split(",") if part.strip())
 
 
-def _comment_lines(text: str) -> Iterator[Tuple[int, str]]:
-    """``(lineno, comment)`` for every real ``#`` comment in *text*.
+def _comment_spans(text: str) -> Iterator[Tuple[int, int, str]]:
+    """``(first_line, last_line, comment)`` per ``#`` comment.
 
     Python sources are tokenized so directives quoted inside strings or
     docstrings (e.g. the examples in this module's own docstring) are
-    not honored; if tokenization fails (markdown, broken syntax) every
-    line is considered, which errs toward suppressing.
+    not honored.  The span is the *logical* line holding the comment:
+    from the first token after the previous NEWLINE through the line
+    where the logical line ends, so a trailing directive on a wrapped
+    statement covers the statement's anchor line.  If tokenization
+    fails (markdown, broken syntax) every physical line is considered
+    on its own, which errs toward suppressing.
     """
     try:
-        for token in tokenize.generate_tokens(io.StringIO(text).readline):
-            if token.type == tokenize.COMMENT:
-                yield token.start[0], token.string
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         for lineno, line in enumerate(text.splitlines(), start=1):
-            yield lineno, line
+            yield lineno, lineno, line
+        return
+    logical_start = None
+    pending: List[Tuple[int, str]] = []
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            pending.append((token.start[0], token.string))
+        elif token.type == tokenize.NEWLINE:
+            # End of a logical line: flush its comments over the span.
+            start = logical_start if logical_start is not None \
+                else token.start[0]
+            for lineno, comment in pending:
+                yield min(start, lineno), max(token.start[0], lineno), \
+                    comment
+            pending = []
+            logical_start = None
+        elif token.type in (tokenize.NL, tokenize.INDENT,
+                            tokenize.DEDENT, tokenize.ENDMARKER):
+            if token.type in (tokenize.NL, tokenize.ENDMARKER) \
+                    and logical_start is None and pending:
+                # Comment-only line (no logical statement around it).
+                for lineno, comment in pending:
+                    yield lineno, lineno, comment
+                pending = []
+        elif logical_start is None:
+            logical_start = token.start[0]
+    for lineno, comment in pending:
+        yield lineno, lineno, comment
 
 
 def parse_suppressions(text: str) -> Suppressions:
     """Extract ``detlint`` directives from *text* (full file contents)."""
+    if text.startswith("\ufeff"):  # BOM survives a plain utf-8 read
+        text = text.lstrip("\ufeff")
     by_line: Dict[int, FrozenSet[str]] = {}
     file_wide: Tuple[str, ...] = ()
-    for lineno, line in _comment_lines(text):
+    directives: List[Tuple[int, FrozenSet[str]]] = []
+    for first, last, line in _comment_spans(text):
         match = _DIRECTIVE_RE.search(line)
         if not match:
             continue
@@ -83,8 +158,10 @@ def parse_suppressions(text: str) -> Suppressions:
         rules = _parse_rule_list(raw)
         if not rules:
             continue
+        directives.append((first, rules))
         if match.group(1) == "disable-file":
             file_wide = tuple(set(file_wide) | rules)
         else:
-            by_line[lineno] = by_line.get(lineno, frozenset()) | rules
-    return Suppressions(by_line, frozenset(file_wide))
+            for lineno in range(first, last + 1):
+                by_line[lineno] = by_line.get(lineno, frozenset()) | rules
+    return Suppressions(by_line, frozenset(file_wide), tuple(directives))

@@ -1,0 +1,582 @@
+"""The determinism taint domain over :mod:`repro.lint.dataflow`.
+
+:class:`TaintWalker` instantiates the generic dataflow engine with the
+repo's determinism semantics:
+
+**Sources** (facts enter the flow)
+    wall-clock reads (``time.time`` & friends, incl. ``from time
+    import ...`` aliases and *references* like ``clock =
+    time.perf_counter``), unseeded RNG construction and global
+    ``random.*`` draws, builtin ``hash()``, set displays/constructors,
+    dict views of unproven dicts, unsorted directory listings.
+
+**Sanitizers / reducers** (facts leave the flow)
+    ``sorted()`` erases order taints (sorting *defines* the order);
+    ``len()`` erases everything (a count depends on neither values nor
+    order); ``sum``/``min``/``max``/``any``/``all``/``set`` and the
+    statistics reducers erase order taints but keep value taints (the
+    sum of wall-clock reads is still a wall-clock artifact).
+
+**Sinks** (facts are reported)
+    ``yield``, ``return`` (model tier), and argument positions of
+    order-/value-sensitive calls — ``.append``/``.extend``/``.write``/
+    ``.writerow(s)``/``.writelines``/``.join``.
+
+**Proofs** (facts remove findings)
+    A dict display, a ``**kwargs`` parameter, a dict comprehension
+    over a deterministic iterable, or a module-level dict-literal
+    constant (resolved across imports by
+    :class:`ModuleConstantResolver`) is a ``det_dict``: its views
+    iterate in insertion order, which is source order — DET004 stops
+    flagging them.  A directory listing whose taint never reaches a
+    loop, sink, escape, or unknown call is only ever counted/reduced —
+    DET005 stops flagging it.
+
+The per-file result is a :class:`ModuleDataflow`, cached on the
+:class:`~repro.lint.registry.FileContext` so DET003-006 share one
+analysis pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import dotted_name
+from .dataflow import (EMPTY, Facts, FunctionWalker, NameResolver, Shape,
+                       Taint, drop_shapes, order_taints, taints,
+                       value_taints)
+
+__all__ = ["ModuleDataflow", "SinkHit", "analyze", "dataflow_of",
+           "ModuleConstantResolver", "WALL_CLOCK_CALLS",
+           "WALL_CLOCK_FROM_TIME", "GLOBAL_RANDOM_FNS", "LISTING_CALLS",
+           "LISTING_METHODS", "SINK_METHODS", "ORDER_INSENSITIVE_CALLS"]
+
+#: Wall-clock reads by dotted name.  ``datetime.now`` covers the
+#: ``from datetime import datetime`` spelling.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+})
+
+#: Names importable ``from time import ...`` that read the wall clock.
+WALL_CLOCK_FROM_TIME = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+#: ``random`` module-level functions drawing from the hidden global RNG.
+GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "randbytes",
+    "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+    "betavariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "seed",
+})
+
+#: Directory-listing calls whose order is filesystem-dependent.
+LISTING_CALLS = frozenset({"os.listdir", "os.scandir",
+                           "glob.glob", "glob.iglob"})
+LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Method-call argument positions whose output depends on the argument.
+SINK_METHODS = frozenset({"append", "extend", "insert", "write",
+                          "writelines", "writerow", "writerows", "join"})
+
+#: Calls that consume an iterable without leaking its order.  ``len``
+#: additionally erases value taints (a count depends on neither).
+ORDER_INSENSITIVE_CALLS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all", "set",
+    "frozenset", "Counter", "collections.Counter", "dict",
+    "statistics.mean", "statistics.median", "math.fsum",
+})
+
+#: Sequence constructors that *bake* their argument's iteration order
+#: into an ordered value — materializing a set here is the hazard.
+_MATERIALIZING = frozenset({"list", "tuple"})
+
+#: Lazy wrappers that pass iteration order through without consuming
+#: it: the result is exactly as (un)ordered as the argument, so shapes
+#: and taints both survive and any later loop/sink still sees them.
+_LAZY_WRAPPERS = frozenset({"reversed", "enumerate", "zip", "iter",
+                            "filter", "map"})
+
+_DET_DICT = Shape("det_dict")
+_SET = Shape("set")
+_LISTING = Shape("listing")
+_DICT_VIEW = Shape("dict_view")
+_CLOCK_FN = Shape("clock_fn")
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """One taint reaching one sink."""
+
+    sink: str          #: ``.append()``, ``yield``, ``return``, ...
+    node: ast.AST      #: the sink node (line/col anchor)
+    taint: Taint       #: the fact that arrived
+
+
+@dataclass
+class ModuleDataflow:
+    """Everything the flow-aware rules ask about one file."""
+
+    #: Value taints (wallclock/rng/hash) at sinks — DET006.
+    value_hits: List[SinkHit] = field(default_factory=list)
+    #: Order taints (setorder/dirorder) at sinks — flow-aware DET004.
+    order_hits: List[SinkHit] = field(default_factory=list)
+    #: ``for`` nodes -> facts of their (indirect, Name/Attribute)
+    #: iterable — flow-aware DET004's one-hop catch.
+    loop_iter_facts: Dict[int, Tuple[ast.AST, Facts]] = \
+        field(default_factory=dict)
+    #: ``d.values()/keys()/items()`` call id -> receiver proven det_dict.
+    proven_views: Set[int] = field(default_factory=set)
+    #: Listing-call id -> True when the result provably never leaks
+    #: order (only counted/reduced/sorted) — flow-aware DET005.
+    safe_listings: Set[int] = field(default_factory=set)
+    #: Wall-clock calls through an alias/reference — flow-aware DET003.
+    clock_alias_calls: List[Tuple[ast.Call, str]] = field(
+        default_factory=list)
+    #: Dedupe guard: loop fixpoint passes re-walk bodies, so the same
+    #: sink/alias can be observed several times.
+    _seen: Set[Tuple[int, str, Taint]] = field(default_factory=set)
+    _seen_aliases: Set[int] = field(default_factory=set)
+
+
+# -- module-level constant resolution -------------------------------------
+
+#: Cross-module summaries: resolved path -> (stat signature, det-dict
+#: constant names).  Keyed on (mtime_ns, size) so editors and test
+#: fixtures that rewrite files invalidate naturally.
+_SUMMARY_CACHE: Dict[str, Tuple[Tuple[int, int], Set[str]]] = {}
+
+_MAX_RESOLVE_DEPTH = 3
+
+_DICT_MUTATORS = frozenset({"update", "pop", "popitem", "setdefault",
+                            "clear", "__setitem__"})
+
+
+def _det_dict_value(node: ast.AST) -> bool:
+    """Is *node* an expression that builds a det-insertion-order dict?"""
+    if isinstance(node, ast.Dict):
+        return not any(key is None for key in node.keys)  # no ** splat
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name == "dict":
+            return all(not isinstance(arg, (ast.Set, ast.SetComp))
+                       for arg in node.args)
+    if isinstance(node, ast.DictComp):
+        iters = [gen.iter for gen in node.generators]
+        return not any(isinstance(i, (ast.Set, ast.SetComp)) for i in iters)
+    return False
+
+
+def _module_dict_constants(tree: ast.Module) -> Set[str]:
+    """Module-level names bound exactly once to a det-dict expression
+    and never mutated anywhere in the module."""
+    candidates: Dict[str, int] = {}
+    for stmt in tree.body:
+        target: Optional[ast.AST] = None
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if isinstance(target, ast.Name) and value is not None \
+                and _det_dict_value(value):
+            candidates[target.id] = candidates.get(target.id, 0) + 1
+    names = {name for name, count in candidates.items() if count == 1}
+    if not names:
+        return names
+    # Disqualify names that are re-bound or mutated anywhere.
+    stores: Dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                     (ast.Store, ast.Del)):
+            stores[node.id] = stores.get(node.id, 0) + 1
+        elif isinstance(node, ast.Subscript) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                and isinstance(node.value, ast.Name):
+            names.discard(node.value.id)
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DICT_MUTATORS
+                and isinstance(node.func.value, ast.Name)):
+            names.discard(node.func.value.id)
+    return {name for name in names if stores.get(name, 0) == 1}
+
+
+def _module_name(relpath: str) -> str:
+    """``src/repro/analysis/sweep.py`` -> ``repro.analysis.sweep``."""
+    parts = Path(relpath).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _resolve_import_module(mod: str, is_pkg: bool,
+                           node: ast.ImportFrom) -> Optional[str]:
+    """Absolute module named by a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = mod.split(".")
+    anchor = parts[:len(parts) - node.level + (1 if is_pkg else 0)]
+    if node.level > len(parts):
+        return None
+    return ".".join(anchor + ([node.module] if node.module else []))
+
+
+class ModuleConstantResolver(NameResolver):
+    """Resolve free names to facts via module-level constants.
+
+    Local module constants come from the file's own top level; imported
+    names are chased into their defining module (depth-capped, cycle-
+    guarded) when the repo root is known.  Only *positive* proofs are
+    produced: an unresolvable name simply has no facts.
+    """
+
+    def __init__(self, tree: ast.Module, relpath: str,
+                 root: Optional[Path]):
+        self.root = root
+        self.local = _module_dict_constants(tree)
+        self.imported: Dict[str, Tuple[str, str]] = {}
+        mod = _module_name(relpath)
+        is_pkg = relpath.endswith("__init__.py")
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom):
+                source = _resolve_import_module(mod, is_pkg, stmt)
+                if source is None:
+                    continue
+                for alias in stmt.names:
+                    self.imported[alias.asname or alias.name] = \
+                        (source, alias.name)
+
+    def resolve(self, name: str) -> Facts:
+        if name in self.local:
+            return frozenset({_DET_DICT})
+        if name in self.imported and self.root is not None:
+            source, original = self.imported[name]
+            if self._is_det_dict_in(source, original, depth=0,
+                                    seen=set()):
+                return frozenset({_DET_DICT})
+        return EMPTY
+
+    def _is_det_dict_in(self, module: str, name: str, depth: int,
+                        seen: Set[str]) -> bool:
+        if depth > _MAX_RESOLVE_DEPTH or module in seen:
+            return False
+        seen.add(module)
+        summary = self._summary(module)
+        if summary is None:
+            return False
+        constants, reexports = summary
+        if name in constants:
+            return True
+        if name in reexports:
+            source, original = reexports[name]
+            return self._is_det_dict_in(source, original, depth + 1, seen)
+        return False
+
+    def _module_path(self, module: str) -> Optional[Path]:
+        assert self.root is not None
+        rel = Path("src", *module.split("."))
+        for candidate in (self.root / rel / "__init__.py",
+                          self.root / rel.with_suffix(".py")):
+            if candidate.is_file():
+                return candidate
+        return None
+
+    def _summary(self, module: str):
+        path = self._module_path(module)
+        if path is None:
+            return None
+        key = str(path)
+        try:
+            stat = path.stat()
+            sig = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return None
+        cached = _SUMMARY_CACHE.get(key)
+        if cached is not None and cached[0] == sig:
+            return cached[1]
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8-sig"))
+        except (OSError, SyntaxError):
+            return None
+        constants = _module_dict_constants(tree)
+        reexports: Dict[str, Tuple[str, str]] = {}
+        mod_name = _module_name(
+            path.relative_to(self.root).as_posix())
+        is_pkg = path.name == "__init__.py"
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ImportFrom):
+                source = _resolve_import_module(mod_name, is_pkg, stmt)
+                if source is None:
+                    continue
+                for alias in stmt.names:
+                    reexports[alias.asname or alias.name] = \
+                        (source, alias.name)
+        summary = (constants, reexports)
+        _SUMMARY_CACHE[key] = (sig, summary)
+        return summary
+
+
+# -- the determinism walker -----------------------------------------------
+
+class TaintWalker(FunctionWalker):
+    """One function's worth of determinism dataflow."""
+
+    def __init__(self, result: ModuleDataflow,
+                 resolver: NameResolver,
+                 time_aliases: Dict[str, str]):
+        super().__init__(resolver)
+        self.result = result
+        self.time_aliases = time_aliases
+        #: dirorder taints born in this walk that stayed provably tame.
+        self.tame_listings: Dict[Tuple[int, str], int] = {}
+
+    # -- sources ----------------------------------------------------------
+
+    def _source_facts(self, node: ast.Call,
+                      dotted: Optional[str]) -> Optional[Facts]:
+        if dotted is None:
+            return None
+        origin = self.time_aliases.get(dotted, dotted)
+        if origin in WALL_CLOCK_CALLS:
+            return frozenset({Taint("wallclock", node.lineno,
+                                    f"{origin}()")})
+        if dotted == "hash":
+            return frozenset({Taint("hash", node.lineno,
+                                    "builtin hash()")})
+        if dotted == "random.Random" and not node.args \
+                and not node.keywords:
+            return frozenset({Taint("rng", node.lineno,
+                                    "unseeded random.Random()")})
+        if dotted.startswith("random.") \
+                and dotted.split(".", 1)[1] in GLOBAL_RANDOM_FNS:
+            return frozenset({Taint("rng", node.lineno, f"{dotted}()")})
+        if dotted in LISTING_CALLS:
+            return self._listing_facts(node, dotted)
+        return None
+
+    def _listing_facts(self, node: ast.Call, shown: str) -> Facts:
+        taint = Taint("dirorder", node.lineno, f"{shown}()")
+        self.tame_listings.setdefault((taint.line, taint.what), id(node))
+        return frozenset({_LISTING, taint})
+
+    def _spend(self, facts: Facts) -> None:
+        """Mark dirorder taints in *facts* as having leaked."""
+        for fact in facts:
+            if isinstance(fact, Taint) and fact.kind == "dirorder":
+                self.tame_listings.pop((fact.line, fact.what), None)
+
+    # -- calls: sources, sanitizers, sinks --------------------------------
+
+    def call_facts(self, node: ast.Call, dotted: Optional[str],
+                   recv_facts: Facts, arg_facts: Sequence[Facts],
+                   env) -> Facts:
+        source = self._source_facts(node, dotted)
+        if source is not None:
+            return source
+
+        merged = EMPTY
+        for facts in arg_facts:
+            merged |= facts
+
+        # A call through a stored wall-clock reference reads the clock.
+        if _CLOCK_FN in recv_facts and not isinstance(node.func,
+                                                      ast.Attribute):
+            shown = dotted or "<alias>"
+            if id(node) not in self.result._seen_aliases:
+                self.result._seen_aliases.add(id(node))
+                self.result.clock_alias_calls.append((node, shown))
+            return frozenset({Taint("wallclock", node.lineno,
+                                    f"{shown}() (wall-clock alias)")})
+
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in ("values", "keys", "items") and not node.args \
+                    and not node.keywords:
+                if _DET_DICT in recv_facts:
+                    self.result.proven_views.add(id(node))
+                    return EMPTY
+                return frozenset({_DICT_VIEW}) | value_taints(recv_facts)
+            if attr in LISTING_METHODS:
+                return self._listing_facts(node, f".{attr}")
+            if attr in SINK_METHODS:
+                self._record_sink(f".{attr}()", node, merged)
+                self._spend(merged)
+                return EMPTY
+            if attr == "sort" and isinstance(node.func.value, ast.Name):
+                # ``xs.sort()`` *defines* the order in place: order
+                # taints and unordered shapes on the variable die here.
+                name = node.func.value.id
+                if name in env:
+                    env[name] = value_taints(env[name])
+                return EMPTY
+            if attr in _DICT_MUTATORS and isinstance(node.func.value,
+                                                     ast.Name):
+                name = node.func.value.id
+                if name in env and order_taints(merged):
+                    env[name] = frozenset(f for f in env[name]
+                                          if f != _DET_DICT)
+
+        if dotted is not None:
+            base = dotted.rsplit(".", 1)[-1]
+            if dotted in ORDER_INSENSITIVE_CALLS or base == "Counter":
+                # Order-insensitive consumption: dirorder taints stay
+                # tame, nothing is spent.
+                if dotted == "len":
+                    return EMPTY
+                if dotted in ("set", "frozenset"):
+                    return value_taints(merged) | frozenset({_SET})
+                if dotted == "dict":
+                    facts = value_taints(merged)
+                    if not order_taints(merged) \
+                            and not (merged & {_SET, _LISTING, _DICT_VIEW}):
+                        facts |= frozenset({_DET_DICT})
+                    return facts
+                # sorted/sum/min/max/any/all/...: order is consumed.
+                return value_taints(merged)
+            if dotted in _MATERIALIZING:
+                facts = taints(merged)
+                if _SET in merged or _DICT_VIEW in merged:
+                    facts |= frozenset({Taint(
+                        "setorder", node.lineno,
+                        "materialized set/dict-view iteration")})
+                    self._spend(facts)
+                if _LISTING in merged:
+                    facts |= merged & frozenset({_LISTING})
+                return facts
+            if dotted in _LAZY_WRAPPERS:
+                return taints(merged) \
+                    | (merged & {_SET, _DICT_VIEW, _LISTING})
+
+        # Unknown call: conservatively propagate taints; order taints
+        # handed to arbitrary code count as leaked listings.
+        self._spend(merged)
+        return drop_shapes(merged)
+
+    def _record_sink(self, sink: str, node: ast.AST, facts: Facts) -> None:
+        for fact in sorted(value_taints(facts)):
+            key = (id(node), sink, fact)
+            if key not in self.result._seen:
+                self.result._seen.add(key)
+                self.result.value_hits.append(SinkHit(sink, node, fact))
+        for fact in sorted(order_taints(facts)):
+            key = (id(node), sink, fact)
+            if key not in self.result._seen:
+                self.result._seen.add(key)
+                self.result.order_hits.append(SinkHit(sink, node, fact))
+
+    # -- loops, returns, yields, escapes ----------------------------------
+
+    def element_facts(self, iter_node, iter_facts: Facts) -> Facts:
+        return drop_shapes(iter_facts) - order_taints(iter_facts)
+
+    def on_for(self, node, iter_facts: Facts, env) -> None:
+        if isinstance(node.iter, (ast.Name, ast.Attribute)) \
+                and (iter_facts & {_SET, _DICT_VIEW, _LISTING}
+                     or order_taints(iter_facts)):
+            prior = self.result.loop_iter_facts.get(id(node))
+            merged = iter_facts | (prior[1] if prior is not None else EMPTY)
+            self.result.loop_iter_facts[id(node)] = (node, merged)
+        self._spend(iter_facts)
+
+    def on_return(self, node, facts: Facts, env) -> None:
+        self._record_sink("return", node, facts)
+        self._spend(facts)
+
+    def on_yield(self, node, facts: Facts, env) -> None:
+        self._record_sink("yield", node, facts)
+        self._spend(facts)
+
+    def on_escape(self, node, facts: Facts) -> None:
+        self._spend(facts)
+
+    def on_nested_scope(self, env) -> None:
+        # A closure can capture and later iterate any local: everything
+        # currently bound loses its tameness proof.
+        for facts in env.values():
+            self._spend(facts)
+
+    def assign(self, target, value, facts: Facts, env) -> None:
+        # Values stored through attributes or containers outlive the
+        # local flow this walk can prove things about.
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._spend(facts)
+        super().assign(target, value, facts, env)
+
+
+def _collect_time_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliased: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_FROM_TIME:
+                    aliased[alias.asname or alias.name] = \
+                        f"time.{alias.name}"
+    return aliased
+
+
+class _ClockRefWalker(TaintWalker):
+    """Adds wall-clock *reference* detection to attribute evaluation."""
+
+    def _eval_Attribute(self, node: ast.Attribute, env) -> Facts:
+        dotted = dotted_name(node)
+        if dotted is not None and dotted in WALL_CLOCK_CALLS:
+            return frozenset({_CLOCK_FN})
+        return super()._eval_Attribute(node, env)
+
+    def _eval_Name(self, node: ast.Name, env) -> Facts:
+        if node.id not in env and node.id in self.time_aliases:
+            return frozenset({_CLOCK_FN})
+        return super()._eval_Name(node, env)
+
+
+def analyze(tree: ast.Module, relpath: str,
+            root: Optional[Path] = None) -> ModuleDataflow:
+    """Run the determinism dataflow over every scope of one module."""
+    result = ModuleDataflow()
+    resolver = ModuleConstantResolver(tree, relpath, root)
+    time_aliases = _collect_time_aliases(tree)
+
+    scopes: List[ast.AST] = [tree]
+    scopes.extend(node for node in ast.walk(tree)
+                  if isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)))
+    for scope in scopes:
+        walker = _ClockRefWalker(result, resolver, time_aliases)
+        if isinstance(scope, ast.Module):
+            end_env = walker.run_module(scope)
+            # Module-level locals never die: a listing bound at module
+            # scope may be consumed by any function later, which this
+            # intraprocedural walk cannot see — no safety proof.
+            for facts in end_env.values():
+                walker._spend(facts)
+        else:
+            walker.run_function(scope)
+        result.safe_listings.update(walker.tame_listings.values())
+    return result
+
+
+def dataflow_of(ctx) -> ModuleDataflow:
+    """The (cached) dataflow result for a :class:`FileContext`."""
+    cached = getattr(ctx, "_dataflow", None)
+    if cached is None:
+        tree = ctx.tree
+        if tree is None:
+            cached = ModuleDataflow()
+        else:
+            cached = analyze(tree, ctx.relpath, ctx.root)
+        ctx._dataflow = cached
+    return cached

@@ -1,0 +1,272 @@
+"""`repro.lint.dataflow` / `repro.lint.taint`: the engine itself.
+
+The rule-level behavior (which findings DET003-006 emit) lives in
+``test_lint_rules.py``; this file pins the *engine* semantics the rules
+build on — propagation through unpacking, branches and loop fixpoints,
+sanitizer effects, shape tracking through lazy wrappers, the det-dict
+and tame-listing proofs, and the cross-module constant resolver.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.registry import FileContext
+from repro.lint.taint import analyze, dataflow_of
+
+ANY = "src/repro/analysis/example.py"
+
+
+def flow(source: str, relpath: str = ANY, root=None):
+    source = textwrap.dedent(source)
+    return analyze(ast.parse(source), relpath, root)
+
+
+class TestValuePropagation:
+    def test_tuple_unpack_taints_only_the_bound_name(self):
+        clean = flow("""\
+            import time
+            def f(rows):
+                t, n = time.time(), 5
+                rows.append(n)
+            """)
+        assert clean.value_hits == []
+        tainted = flow("""\
+            import time
+            def f(rows):
+                t, n = time.time(), 5
+                rows.append(t)
+            """)
+        assert len(tainted.value_hits) == 1
+        assert tainted.value_hits[0].taint.kind == "wallclock"
+
+    def test_augmented_assign_accumulates_taint(self):
+        result = flow("""\
+            import time
+            def f(rows):
+                total = 0.0
+                total += time.time()
+                rows.append(total)
+            """)
+        assert [h.taint.kind for h in result.value_hits] == ["wallclock"]
+
+    def test_branch_join_unions_facts(self):
+        result = flow("""\
+            import time
+            def f(fast, rows):
+                t = 0.0
+                if fast:
+                    t = time.time()
+                rows.append(t)
+            """)
+        assert len(result.value_hits) == 1
+
+    def test_loop_fixpoint_carries_taint_backward(self):
+        # `prev` only becomes tainted on the second traversal of the
+        # loop body — a single forward pass would miss it.
+        result = flow("""\
+            import time
+            def f(out):
+                prev = 0.0
+                t = 0.0
+                for i in range(3):
+                    prev = t
+                    t = time.time()
+                out.append(prev)
+            """)
+        assert len(result.value_hits) == 1
+
+    def test_sink_hits_deduped_across_fixpoint_passes(self):
+        # The loop body is re-walked to fixpoint; the one sink must be
+        # reported exactly once.
+        result = flow("""\
+            import time
+            def f(out):
+                for i in range(3):
+                    t = time.time()
+                    out.append(t)
+            """)
+        assert len(result.value_hits) == 1
+
+
+class TestSanitizers:
+    def test_sorted_erases_order(self):
+        result = flow("""\
+            def f(xs, out):
+                s = set(xs)
+                ordered = sorted(s)
+                out.extend(ordered)
+            """)
+        assert result.order_hits == []
+        assert result.loop_iter_facts == {}
+
+    def test_len_erases_everything(self):
+        result = flow("""\
+            import time
+            def f(out):
+                t = time.time()
+                n = len([t])
+                out.append(n)
+            """)
+        assert result.value_hits == []
+
+    def test_sum_keeps_value_taint(self):
+        # A sum of wall-clock reads is still a wall-clock artifact.
+        result = flow("""\
+            import time
+            def f(out):
+                total = sum([time.time()])
+                out.append(total)
+            """)
+        assert [h.taint.kind for h in result.value_hits] == ["wallclock"]
+
+
+class TestShapes:
+    def test_lazy_wrapper_passes_set_shape_through(self):
+        result = flow("""\
+            def f(xs, out):
+                s = set(xs)
+                pairs = enumerate(s)
+                for i, x in pairs:
+                    out.append(x)
+            """)
+        assert len(result.loop_iter_facts) == 1
+
+    def test_lazy_wrapper_creates_no_facts_for_plain_iterables(self):
+        result = flow("""\
+            def f(items, out):
+                pairs = enumerate(items)
+                for i, x in pairs:
+                    out.append(x)
+            """)
+        assert result.loop_iter_facts == {}
+        assert result.order_hits == []
+
+    def test_kwargs_views_are_proven(self):
+        result = flow("""\
+            def f(**kw):
+                return tuple(kw.keys())
+            """)
+        assert len(result.proven_views) == 1
+        assert result.order_hits == []
+
+    def test_local_dict_display_views_are_proven(self):
+        result = flow("""\
+            def f():
+                d = {"atom": 1, "xeon": 2}
+                return list(d.values())
+            """)
+        assert len(result.proven_views) == 1
+
+    def test_mutated_module_dict_is_not_proven(self):
+        result = flow("""\
+            TABLE = {"a": 1}
+            def g():
+                TABLE["x"] = 2
+            def f():
+                return list(TABLE.values())
+            """)
+        assert result.proven_views == set()
+
+
+class TestListings:
+    def test_counted_listing_is_tame(self):
+        result = flow("""\
+            import os
+            def f(path):
+                names = os.listdir(path)
+                return len(names)
+            """)
+        assert len(result.safe_listings) == 1
+
+    def test_emitted_listing_is_not_tame(self):
+        result = flow("""\
+            import os
+            def f(path, out):
+                names = os.listdir(path)
+                out.extend(names)
+            """)
+        assert result.safe_listings == set()
+        assert any(h.taint.kind == "dirorder" for h in result.order_hits)
+
+    def test_listing_passed_to_unknown_call_is_not_tame(self):
+        result = flow("""\
+            import os
+            def f(path):
+                names = os.listdir(path)
+                process(names)
+                return 0
+            """)
+        assert result.safe_listings == set()
+
+
+class TestClockAliases:
+    def test_stored_reference_call_detected(self):
+        result = flow("""\
+            import time
+            def f():
+                clock = time.time
+                return clock()
+            """)
+        assert len(result.clock_alias_calls) == 1
+        assert result.clock_alias_calls[0][1] == "clock"
+        # The call's value is a wall-clock taint reaching `return`.
+        assert [h.taint.kind for h in result.value_hits] == ["wallclock"]
+
+
+class TestCrossModuleConstants:
+    def _write(self, root: Path, relpath: str, source: str) -> None:
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+    def test_imported_dict_constant_is_proven(self, tmp_path):
+        self._write(tmp_path, "src/repro/analysis/tables.py", """\
+            SUITE = {"bzip2": 1.0, "mcf": 2.0}
+            """)
+        self._write(tmp_path, "src/repro/analysis/user.py", """\
+            from .tables import SUITE
+            def f():
+                return list(SUITE.values())
+            """)
+        user = (tmp_path / "src/repro/analysis/user.py").read_text()
+        result = analyze(ast.parse(user), "src/repro/analysis/user.py",
+                         tmp_path)
+        assert len(result.proven_views) == 1
+
+    def test_reexported_constant_is_chased(self, tmp_path):
+        self._write(tmp_path, "src/repro/analysis/tables.py", """\
+            SUITE = {"bzip2": 1.0}
+            """)
+        self._write(tmp_path, "src/repro/analysis/__init__.py", """\
+            from .tables import SUITE
+            """)
+        self._write(tmp_path, "src/repro/core/user.py", """\
+            from repro.analysis import SUITE
+            def f():
+                return list(SUITE.values())
+            """)
+        user = (tmp_path / "src/repro/core/user.py").read_text()
+        result = analyze(ast.parse(user), "src/repro/core/user.py",
+                         tmp_path)
+        assert len(result.proven_views) == 1
+
+    def test_unresolvable_import_yields_no_proof(self, tmp_path):
+        self._write(tmp_path, "src/repro/analysis/user.py", """\
+            from .missing import SUITE
+            def f():
+                return list(SUITE.values())
+            """)
+        user = (tmp_path / "src/repro/analysis/user.py").read_text()
+        result = analyze(ast.parse(user), "src/repro/analysis/user.py",
+                         tmp_path)
+        assert result.proven_views == set()
+
+
+class TestCaching:
+    def test_dataflow_of_caches_on_the_context(self):
+        ctx = FileContext(ANY, "import time\nt = time.time()\n")
+        first = dataflow_of(ctx)
+        assert dataflow_of(ctx) is first

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import (Baseline, Finding, all_rules, get_rule, lint_source,
+from repro.lint import (Baseline, Finding, all_rules, lint_source,
                         lint_tree, load_baseline, parse_suppressions,
                         split_findings)
 from repro.lint.cli import run_lint
@@ -146,6 +146,26 @@ class TestDET003WallClock:
     def test_negative_sim_now(self):
         assert not hits("DET003", "t = self.sim.now\n", relpath=SIM)
 
+    def test_positive_flow_stored_clock_reference(self):
+        # Flow-backed: the syntactic pattern sees no time.* call here.
+        found = hits("DET003", """\
+            import time
+            def measure():
+                clock = time.perf_counter
+                return clock()
+            """, relpath=SIM)
+        assert len(found) == 1
+        assert "stored wall-clock function reference" in found[0].message
+
+    def test_positive_flow_from_import_reference(self):
+        assert hits("DET003", """\
+            from time import monotonic
+            def measure():
+                clock = monotonic
+                t = clock()
+                return t
+            """, relpath=SIM)
+
 
 class TestDET004UnsortedSetIteration:
     def test_positive_loop_feeding_append(self):
@@ -192,6 +212,58 @@ class TestDET004UnsortedSetIteration:
                 return frozenset(n for n in nodes if n not in down)
             """)
 
+    def test_positive_flow_one_hop_set_loop(self):
+        # Flow-backed: the set reaches the loop through a variable, which
+        # the purely syntactic pattern cannot see.
+        found = hits("DET004", """\
+            def collect(xs, out):
+                uniq = set(xs)
+                for x in uniq:
+                    out.append(x)
+            """)
+        assert len(found) == 1
+        assert "through a variable" in found[0].message \
+            or "loop over a variable" in found[0].message
+
+    def test_positive_flow_materialized_set_order(self):
+        # list(set) bakes hash order into a sequence; extending output
+        # with it later is the same hazard one hop removed.
+        found = hits("DET004", """\
+            def snapshot(xs, out):
+                frozen = list(set(xs))
+                out.extend(frozen)
+            """)
+        # The syntactic half flags list(set(...)) too; the flow half
+        # must additionally report the order reaching the sink.
+        assert any("sort before emitting" in f.message for f in found)
+
+    def test_negative_flow_proven_dict_display_view(self):
+        # The receiver is a dict display: insertion order is source
+        # order, so iterating its views is deterministic.  The
+        # syntactic half alone would flag `list(d.values())`.
+        assert not hits("DET004", """\
+            def table():
+                d = {"atom": 1, "xeon": 2}
+                return list(d.values())
+            """)
+
+    def test_negative_flow_kwargs_keys(self):
+        assert not hits("DET004", """\
+            def axes(**kwargs):
+                names = tuple(kwargs.keys())
+                return names
+            """)
+
+    def test_negative_flow_sorted_in_place(self):
+        # .sort() defines the order in place; no hazard remains.
+        assert not hits("DET004", """\
+            def ordered(xs, out):
+                uniq = set(xs)
+                kept = list(uniq)
+                kept.sort()
+                out.extend(kept)
+            """)
+
 
 class TestDET005UnsortedDirListing:
     def test_positive_listdir_loop(self):
@@ -216,6 +288,108 @@ class TestDET005UnsortedDirListing:
     def test_negative_length_only(self):
         assert not hits("DET005",
                         "n = sum(1 for _ in bucket.iterdir())\n")
+
+    def test_negative_flow_proven_count_only(self):
+        # Flow-backed prove-safe: the listing is named but only ever
+        # counted — order never leaks, so no finding.  The syntactic
+        # pattern alone would flag the bare os.listdir() call.
+        assert not hits("DET005", """\
+            import os
+            def count(path):
+                names = os.listdir(path)
+                return len(names)
+            """)
+
+    def test_positive_flow_leaked_through_variable(self):
+        # Same shape, but the listing order reaches a loop + sink.
+        found = hits("DET005", """\
+            import os
+            def scan(path, out):
+                names = os.listdir(path)
+                for name in names:
+                    out.append(name)
+            """)
+        assert len(found) == 1 and "sorted" in found[0].message
+
+
+class TestDET006TaintedSink:
+    """Pure-dataflow rule: nondeterministic values at output sinks."""
+
+    # The acceptance-criteria regression fixture: a wall-clock read
+    # reaches an output sink through a local variable.  Caught by
+    # DET006, invisible to the per-node syntactic rules DET001-005.
+    REGRESSION = """\
+        import time
+        def sample(rows):
+            t = time.time()
+            n = 2 * 3
+            rows.append(t)
+        """
+
+    def test_regression_caught_by_det006(self):
+        found = hits("DET006", self.REGRESSION)
+        assert len(found) == 1
+        assert "time.time()" in found[0].message
+        assert ".append()" in found[0].message
+
+    def test_regression_missed_by_every_older_rule(self):
+        # The other direction of the acceptance check: no DET001-005
+        # (nor any other rule) fires on the same snippet.
+        findings = lint_source(textwrap.dedent(self.REGRESSION), ANY)
+        assert {f.rule_id for f in findings} == {"DET006"}
+
+    def test_positive_rng_draw_to_yield(self):
+        found = hits("DET006", """\
+            import random
+            def draws(n):
+                for _ in range(n):
+                    v = random.random()
+                    yield v
+            """)
+        assert found and "yield" in found[0].message
+
+    def test_positive_hash_through_arithmetic(self):
+        found = hits("DET006", """\
+            def bucket(key, out):
+                h = hash(key)
+                slot = h % 64
+                out.append(slot)
+            """)
+        assert found and "hash()" in found[0].message
+
+    def test_positive_taint_through_branch_join(self):
+        assert hits("DET006", """\
+            import time
+            def stamp(fast, rows):
+                t = 0.0
+                if fast:
+                    t = time.time()
+                rows.append(t)
+            """)
+
+    def test_negative_len_sanitizes(self):
+        # A count carries neither the value nor the order.
+        assert not hits("DET006", """\
+            import time
+            def width(rows):
+                t = time.time()
+                n = len(str(t))
+                rows.append(n)
+            """)
+
+    def test_negative_value_never_reaches_sink(self):
+        assert not hits("DET006", """\
+            import time
+            def timed(rows):
+                t0 = time.time()
+                rows.append(1)
+                return len(rows)
+            """)
+
+    def test_out_of_scope_tier_ignored(self):
+        # bench/ legitimately times things.
+        assert not hits("DET006", textwrap.dedent(self.REGRESSION),
+                        relpath="src/repro/bench/example.py")
 
 
 class TestPURE001ImpureModelCode:
@@ -456,6 +630,82 @@ class TestSuppressions:
         assert not sup.is_suppressed("DET003", 1)
         assert not sup.is_suppressed("DET001", 2)
 
+    def test_multiline_statement_trailing_directive(self):
+        # The finding anchors at the statement's first line; the
+        # directive sits on the closing line of the wrapped call.
+        assert not hits("DET001", """\
+            value = compute(
+                hash('a'),
+                7,
+            )  # detlint: disable=DET001 -- fixture
+            """)
+
+    def test_multiline_statement_leading_directive(self):
+        assert not hits("DET001", """\
+            value = compute(  # detlint: disable=DET001 -- fixture
+                hash('a'),
+            )
+            """)
+
+    def test_decorated_def_directive_covers_decorator_line(self):
+        # The hash() sits in a decorator argument on line 1; a
+        # directive at the end of the decorator's logical line covers it.
+        assert not hits("DET001", """\
+            @cached(key=hash('a'))  # detlint: disable=DET001 -- fixture
+            def f():
+                return 1
+            """)
+
+    def test_directive_on_one_statement_not_the_next(self):
+        source = textwrap.dedent("""\
+            x = compute(
+                hash('a'),
+            )  # detlint: disable=DET001 -- only this statement
+            y = hash('b')
+            """)
+        found = [f for f in lint_source(source, ANY)
+                 if f.rule_id == "DET001"]
+        assert [f.line for f in found] == [4]
+
+    def test_file_wide_directive_after_code_still_applies(self):
+        # disable-file is positional-independent: wherever it appears,
+        # the whole file is exempt (including lines above it).
+        assert not hits("DET001", """\
+            x = hash('a')
+            y = hash('b')
+            # detlint: disable-file=DET001 -- fixture module
+            """)
+
+    def test_crlf_line_endings(self):
+        source = ("x = hash('a')  # detlint: disable=DET001 -- f\r\n"
+                  "y = 1\r\n")
+        assert not [f for f in lint_source(source, ANY)
+                    if f.rule_id == "DET001"]
+
+    def test_bom_prefixed_source(self):
+        source = ("\ufeff" + "x = hash('a')"
+                  "  # detlint: disable=DET001 -- f\n")
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed("DET001", 1)
+
+    def test_unknown_rule_id_warns(self):
+        sup = parse_suppressions(
+            "x = 1  # detlint: disable=DET999 -- typo\n")
+        warnings = sup.directive_warnings("src/repro/mod.py")
+        assert len(warnings) == 1
+        warning = warnings[0]
+        assert warning.rule_id == "LINT001"
+        assert warning.severity == "warning"
+        assert "DET999" in warning.message
+
+    def test_known_and_pseudo_ids_do_not_warn(self):
+        sup = parse_suppressions(textwrap.dedent("""\
+            a = 1  # detlint: disable=DET001 -- real rule
+            b = 2  # detlint: disable=all -- blanket
+            c = 3  # detlint: disable=LINT000 -- pseudo rule
+            """))
+        assert sup.directive_warnings("src/repro/mod.py") == []
+
 
 class TestBaseline:
     def _findings(self):
@@ -539,6 +789,42 @@ class TestCliAndJsonSchema:
         assert run_lint(root=str(root), no_baseline=True,
                         stdout=io.StringIO()) == 1
 
+    def test_unknown_suppression_id_warns_but_does_not_gate(self, tmp_path):
+        root = _make_tree(
+            tmp_path, "x = 1  # detlint: disable=DET999 -- typo\n")
+        out = io.StringIO()
+        code = run_lint(root=str(root), output_format="json", stdout=out)
+        # A warning surfaces in the report but never fails the run.
+        assert code == 0
+        report = json.loads(out.getvalue())
+        (entry,) = report["findings"]
+        assert entry["rule"] == "LINT001"
+        assert entry["severity"] == "warning"
+        assert "DET999" in entry["message"]
+
+    def test_bom_file_parses_and_suppresses(self, tmp_path):
+        root = _make_tree(tmp_path, "x = 1\n")
+        mod = root / "src" / "repro" / "mod.py"
+        mod.write_bytes(
+            b"\xef\xbb\xbfx = hash('a')  # detlint: disable=DET001 -- f\n")
+        out = io.StringIO()
+        code = run_lint(root=str(root), output_format="json", stdout=out)
+        assert code == 0
+        report = json.loads(out.getvalue())
+        # No LINT000 read/parse error, and the suppression took effect.
+        assert report["counts"]["total"] == 0
+        assert report["counts"]["suppressed"] == 1
+
+    def test_markdown_directive_examples_do_not_warn(self, tmp_path):
+        # Docs legitimately show directive syntax with placeholder ids.
+        root = _make_tree(tmp_path, "x = 1\n")
+        (root / "GUIDE.md").write_text(
+            "Use `# detlint: disable=RULEID -- why` to suppress.\n")
+        out = io.StringIO()
+        assert run_lint(root=str(root), output_format="json",
+                        stdout=out) == 0
+        assert json.loads(out.getvalue())["counts"]["total"] == 0
+
     def test_output_file_written(self, tmp_path):
         root = _make_tree(tmp_path, "x = 1\n")
         report_path = tmp_path / "report.json"
@@ -574,8 +860,8 @@ class TestSelfCheck:
 
     def test_rule_catalog_complete(self):
         assert [r.id for r in all_rules()] == [
-            "DET001", "DET002", "DET003", "DET004", "DET005",
-            "DOC001", "OBS001", "PURE001"]
+            "ARCH001", "DET001", "DET002", "DET003", "DET004", "DET005",
+            "DET006", "DOC001", "OBS001", "PURE001"]
         for rule in all_rules():
             assert rule.description and rule.kind in ("python", "markdown")
 
